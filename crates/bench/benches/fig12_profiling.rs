@@ -1,0 +1,87 @@
+//! Figure 12: profiling (counter-instrumentation) overhead.
+//!
+//! Latency increase and throughput degradation vs. the number of
+//! per-packet counter updates (20/30/40), for simple (1-primitive) and
+//! complex (8-primitive) actions, with and without 1/1024 packet
+//! sampling, on the Agilio CX and BlueField2 models.
+
+use pipeleon_bench::{banner, f, header, row};
+use pipeleon_cost::CostParams;
+use pipeleon_ir::{MatchKind, MatchValue, Primitive, ProgramBuilder, ProgramGraph, TableEntry};
+use pipeleon_sim::{Packet, SmartNic};
+
+/// A linear program with `tables` tables of `prims` primitives each —
+/// instrumentation updates one action counter per table per packet.
+fn program(tables: usize, prims: usize) -> ProgramGraph {
+    let mut b = ProgramBuilder::named(format!("prof_{tables}x{prims}"));
+    let fields: Vec<_> = (0..4).map(|i| b.field(&format!("f{i}"))).collect();
+    let mut first = None;
+    for i in 0..tables {
+        let t = b
+            .table(format!("t{i}"))
+            .key(fields[i % 4], MatchKind::Exact)
+            .action(
+                "proc",
+                (0..prims).map(|_| Primitive::Nop).collect::<Vec<_>>(),
+            )
+            .entry(TableEntry::new(vec![MatchValue::Exact(0)], 0))
+            .finish();
+        first.get_or_insert(t);
+    }
+    b.seal(first.unwrap()).expect("valid")
+}
+
+fn packets(g: &ProgramGraph, n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let mut p = Packet::new(&g.fields);
+            for fi in 0..4 {
+                p.set(g.fields.get(&format!("f{fi}")).unwrap(), (i as u64) % 64);
+            }
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Figure 12",
+        "counter instrumentation overhead (latency / throughput), Agilio + BlueField2 models",
+    );
+    header(&[
+        "target",
+        "counter_updates",
+        "variant",
+        "latency_increase_pct",
+        "throughput_degradation_pct",
+    ]);
+    for params in [CostParams::agilio_cx(), CostParams::bluefield2()] {
+        for updates in [20usize, 30, 40] {
+            for (variant, prims, sample) in [
+                ("simple_action", 1usize, 1u64),
+                ("complex_action", 8, 1),
+                ("simple_action_sampling_1_1024", 1, 1024),
+            ] {
+                let g = program(updates, prims);
+                // Uninstrumented baseline.
+                let mut nic = SmartNic::new(g.clone(), params.clone()).unwrap();
+                let base = nic.measure(packets(&g, 20_000));
+                // Instrumented.
+                let mut nic = SmartNic::new(g.clone(), params.clone()).unwrap();
+                nic.set_instrumentation(true, sample);
+                let inst = nic.measure(packets(&g, 20_000));
+                let lat_inc =
+                    100.0 * (inst.mean_latency_ns - base.mean_latency_ns) / base.mean_latency_ns;
+                let tput_deg =
+                    100.0 * (base.throughput_gbps - inst.throughput_gbps) / base.throughput_gbps;
+                row(&[
+                    params.name.clone(),
+                    updates.to_string(),
+                    variant.into(),
+                    f(lat_inc),
+                    f(tput_deg.max(0.0)),
+                ]);
+            }
+        }
+    }
+}

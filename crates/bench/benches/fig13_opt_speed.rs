@@ -1,0 +1,56 @@
+//! Figure 13: optimization turnaround time vs. top-k, as a CDF over
+//! synthesized programs grouped by pipelet count (PN) and length (PL).
+//!
+//! The paper's absolute times are seconds (a Python prototype searching
+//! larger spaces); this Rust implementation is orders of magnitude
+//! faster, so compare the *relative* ordering: time grows with PN, PL,
+//! and k, with ESearch (k = 100%) slowest.
+
+use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
+use pipeleon_bench::{banner, header, print_cdf};
+use pipeleon_cost::{CostModel, CostParams};
+use pipeleon_workloads::profiles::{random_profile, ProfileSynthConfig};
+use pipeleon_workloads::synth::{synthesize, SynthConfig};
+
+fn main() {
+    banner(
+        "Figure 13",
+        "optimization time CDF per top-k, three program groups (PN, PL)",
+    );
+    header(&["group", "k", "search_time_us", "cdf"]);
+    let model = CostModel::new(CostParams::emulated_nic());
+    let groups = [
+        ("PN=12_PL=2", 12usize, 2usize),
+        ("PN=13_PL=3", 13, 3),
+        ("PN=15_PL=3", 15, 3),
+    ];
+    const PROGRAMS_PER_GROUP: usize = 100;
+    for (label, pn, pl) in groups {
+        for k in [0.2, 0.3, 0.4, 1.0] {
+            let mut times_us = Vec::with_capacity(PROGRAMS_PER_GROUP);
+            for seed in 0..PROGRAMS_PER_GROUP as u64 {
+                let g = synthesize(&SynthConfig {
+                    pipelets: pn,
+                    pipelet_len: pl,
+                    seed: seed * 31 + pn as u64,
+                    ..SynthConfig::default()
+                });
+                let profile = random_profile(&g, &ProfileSynthConfig::default(), seed * 17 + 3);
+                let optimizer = Optimizer::new(model.clone()).with_config(OptimizerConfig {
+                    top_k_fraction: k,
+                    ..OptimizerConfig::default()
+                });
+                let outcome = optimizer
+                    .optimize(&g, &profile, ResourceLimits::unlimited())
+                    .expect("optimizes");
+                times_us.push(outcome.search_time.as_secs_f64() * 1e6);
+            }
+            let k_label = if k >= 1.0 {
+                "ESearch(100%)".to_string()
+            } else {
+                format!("{}%", (k * 100.0) as u32)
+            };
+            print_cdf(&[label.to_string(), k_label], &times_us, 20);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 14: top-k effectiveness relative to exhaustive search, at three
+//! traffic-entropy levels.
+//!
+//! For each program, many random profiles are synthesized and ranked by
+//! the entropy of the pipelet traffic distribution (Appendix A.3); the
+//! 10th/50th/90th-percentile-entropy profiles are then optimized with
+//! top-k ∈ {20,30,40,50}% and with ESearch, and the gain ratio
+//! `topk_gain / esearch_gain` is reported as a CDF over programs.
+
+use pipeleon::hotspot::score_pipelets;
+use pipeleon::pipelet::partition;
+use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
+use pipeleon_bench::{banner, header, print_cdf};
+use pipeleon_cost::{CostModel, CostParams, RuntimeProfile};
+use pipeleon_ir::ProgramGraph;
+use pipeleon_workloads::profiles::{entropy, random_profile, ProfileSynthConfig};
+use pipeleon_workloads::synth::{synthesize, SynthConfig};
+
+/// Entropy of the pipelet traffic distribution under a profile.
+fn pipelet_entropy(model: &CostModel, g: &ProgramGraph, p: &RuntimeProfile) -> f64 {
+    let pipelets = partition(g, 24);
+    let scores = score_pipelets(model, g, p, &pipelets);
+    let shares: Vec<f64> = scores.iter().map(|s| s.reach).collect();
+    entropy(&shares)
+}
+
+fn main() {
+    banner(
+        "Figure 14",
+        "top-k gain / ESearch gain CDF at 10th/50th/90th entropy profiles",
+    );
+    header(&["entropy_pct", "k", "gain_ratio", "cdf"]);
+    let model = CostModel::new(CostParams::emulated_nic());
+    const PROGRAMS: usize = 40;
+    const PROFILES_PER_PROGRAM: usize = 120;
+
+    // ratios[entropy_level][k] -> samples over programs.
+    let ks = [0.2, 0.3, 0.4, 0.5];
+    let mut ratios = vec![vec![Vec::new(); ks.len()]; 3];
+    for seed in 0..PROGRAMS as u64 {
+        let g = synthesize(&SynthConfig {
+            pipelets: 12,
+            pipelet_len: 2,
+            seed: seed * 101 + 7,
+            ..SynthConfig::default()
+        });
+        // Rank random profiles by entropy, pick p10/p50/p90.
+        let mut profiles: Vec<(f64, RuntimeProfile)> = (0..PROFILES_PER_PROGRAM as u64)
+            .map(|ps| {
+                let p = random_profile(&g, &ProfileSynthConfig::default(), seed * 1009 + ps);
+                (pipelet_entropy(&model, &g, &p), p)
+            })
+            .collect();
+        profiles.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite entropy"));
+        let picks = [
+            profiles.len() / 10,
+            profiles.len() / 2,
+            profiles.len() * 9 / 10,
+        ];
+        for (level, &idx) in picks.iter().enumerate() {
+            let profile = &profiles[idx].1;
+            let esearch_gain = Optimizer::new(model.clone())
+                .esearch()
+                .optimize(&g, profile, ResourceLimits::unlimited())
+                .expect("optimizes")
+                .est_gain_ns;
+            if esearch_gain <= 1e-9 {
+                continue;
+            }
+            for (ki, &k) in ks.iter().enumerate() {
+                let gain = Optimizer::new(model.clone())
+                    .with_config(OptimizerConfig {
+                        top_k_fraction: k,
+                        ..OptimizerConfig::default()
+                    })
+                    .optimize(&g, profile, ResourceLimits::unlimited())
+                    .expect("optimizes")
+                    .est_gain_ns;
+                ratios[level][ki].push((gain / esearch_gain).min(1.0));
+            }
+        }
+    }
+    for (level, name) in ["10th", "50th", "90th"].iter().enumerate() {
+        for (ki, &k) in ks.iter().enumerate() {
+            print_cdf(
+                &[name.to_string(), format!("{}%", (k * 100.0) as u32)],
+                &ratios[level][ki],
+                10,
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 15: pipelet-group (cross-pipelet) optimization benefit.
+//!
+//! Programs dominated by short (one-table) pipelets restrict what
+//! per-pipelet optimization can do; letting neighboring pipelets under a
+//! common branch be optimized jointly (a group cache) recovers more
+//! latency. (a) mean latency reduction with/without groups per top-k;
+//! (b) the per-program CDF at k = 50%.
+
+use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
+use pipeleon_bench::{banner, f, header, print_cdf, row};
+use pipeleon_cost::{CostModel, CostParams};
+use pipeleon_workloads::profiles::{random_profile, ProfileSynthConfig};
+use pipeleon_workloads::synth::{synthesize_diamonds, MatchMix, SynthConfig};
+
+fn main() {
+    banner(
+        "Figure 15",
+        "pipelet-group optimization on short-pipelet programs",
+    );
+    let model = CostModel::new(CostParams::emulated_nic());
+    const PROGRAMS: usize = 60;
+    let reductions = |k: f64, groups: bool| -> Vec<f64> {
+        (0..PROGRAMS as u64)
+            .map(|seed| {
+                let g = synthesize_diamonds(&SynthConfig {
+                    pipelets: 11,
+                    pipelet_len: 1, // short pipelets dominate
+                    drop_fraction: 0.1,
+                    match_mix: MatchMix {
+                        exact: 0.3,
+                        lpm: 0.3,
+                        ternary: 0.4,
+                    },
+                    seed: seed * 37 + 5,
+                    ..SynthConfig::default()
+                });
+                let mut profile = random_profile(
+                    &g,
+                    &ProfileSynthConfig {
+                        updating_fraction: 0.0, // stable entries: caches stay valid
+                        ..ProfileSynthConfig::default()
+                    },
+                    seed * 7 + 2,
+                );
+                // Locality so caches pay off.
+                for (n, _) in g.tables() {
+                    profile.set_distinct_keys(n.id, 16);
+                }
+                let optimizer = Optimizer::new(model.clone()).with_config(OptimizerConfig {
+                    top_k_fraction: k,
+                    enable_groups: groups,
+                    ..OptimizerConfig::default()
+                });
+                let outcome = optimizer
+                    .optimize(&g, &profile, ResourceLimits::unlimited())
+                    .expect("optimizes");
+                // Estimated reduction (the paper computes Fig. 15 with the
+                // cost model, which prices caches at their estimated hit
+                // rate).
+                let before = model.expected_latency(&g, &profile);
+                (100.0 * outcome.est_gain_ns / before).max(0.0)
+            })
+            .collect()
+    };
+
+    println!("# --- (a) average latency reduction ---");
+    header(&["k", "variant", "mean_latency_reduction_pct"]);
+    for k in [0.4, 0.5, 0.6] {
+        for (variant, groups) in [("without_group", false), ("with_group", true)] {
+            let r = reductions(k, groups);
+            let mean = r.iter().sum::<f64>() / r.len() as f64;
+            row(&[format!("{}%", (k * 100.0) as u32), variant.into(), f(mean)]);
+        }
+    }
+
+    println!("# --- (b) per-program CDF at k=50% ---");
+    header(&["variant", "latency_reduction_pct", "cdf"]);
+    for (variant, groups) in [("without_group", false), ("with_group", true)] {
+        print_cdf(&[variant.to_string()], &reductions(0.5, groups), 15);
+    }
+}

@@ -1,0 +1,47 @@
+use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
+use pipeleon_cost::{CostModel, CostParams};
+use pipeleon_workloads::profiles::{random_profile, ProfileSynthConfig};
+use pipeleon_workloads::synth::{synthesize, MatchMix, SynthConfig};
+
+fn main() {
+    let model = CostModel::new(CostParams::emulated_nic());
+    let g = synthesize(&SynthConfig {
+        pipelets: 11,
+        pipelet_len: 1,
+        drop_fraction: 0.1,
+        match_mix: MatchMix {
+            exact: 0.3,
+            lpm: 0.3,
+            ternary: 0.4,
+        },
+        seed: 5,
+        ..SynthConfig::default()
+    });
+    let mut profile = random_profile(&g, &ProfileSynthConfig::default(), 2);
+    for (n, _) in g.tables() {
+        profile.set_distinct_keys(n.id, 16);
+    }
+    let opt = Optimizer::new(model.clone()).with_config(OptimizerConfig {
+        top_k_fraction: 0.5,
+        ..Default::default()
+    });
+    let out = opt
+        .optimize(&g, &profile, ResourceLimits::unlimited())
+        .unwrap();
+    println!(
+        "gain={} cands={} selected={:?} pipelets={}",
+        out.est_gain_ns,
+        out.candidates_evaluated,
+        out.selected,
+        out.pipelets.len()
+    );
+    for s in &out.scores {
+        println!("  p{} cost {:.2} reach {:.3}", s.pipelet, s.cost, s.reach);
+    }
+    for s in &out.applied.summary {
+        println!("  {s}");
+    }
+    let before = model.expected_latency(&g, &profile);
+    let after = model.expected_latency(&out.applied.graph, &profile);
+    println!("before {before:.1} after {after:.1}");
+}

@@ -1,0 +1,250 @@
+//! Shared helpers for the figure-regeneration benchmark harness.
+//!
+//! Every `benches/figNN_*.rs` target is a `harness = false` binary that
+//! prints the corresponding paper figure's series as tab-separated rows
+//! (commented header lines start with `#`). Absolute numbers come from
+//! the software emulator, so only the *shape* — orderings, ratios,
+//! crossovers — is expected to match the paper; see `EXPERIMENTS.md`.
+
+use pipeleon::plan::{Candidate, GlobalPlan, Segment, SegmentKind};
+use pipeleon::{apply_plan, AppliedPlan, OptimizerConfig};
+use pipeleon_cost::{CostModel, CostParams, RuntimeProfile};
+use pipeleon_ir::{
+    MatchKind, MatchValue, NodeId, Primitive, ProgramBuilder, ProgramGraph, TableEntry,
+};
+
+/// Prints the figure banner.
+pub fn banner(fig: &str, title: &str) {
+    println!("# ================================================================");
+    println!("# {fig}: {title}");
+    println!("# emulator-backed reproduction; compare shapes, not absolutes");
+    println!("# ================================================================");
+}
+
+/// Prints a commented header row.
+pub fn header(cols: &[&str]) {
+    println!("# {}", cols.join("\t"));
+}
+
+/// Prints one data row.
+pub fn row(values: &[String]) {
+    println!("{}", values.join("\t"));
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// The microbenchmark program of §5.2.1: pipelets of four tables each,
+/// "replicated with a scale factor N". Table `i` is exact-match on field
+/// `f{i % 4}` with one single-primitive action. Returns the graph and
+/// table ids in order.
+pub fn micro_pipeline(num_tables: usize) -> (ProgramGraph, Vec<NodeId>) {
+    let mut b = ProgramBuilder::named(format!("micro_{num_tables}"));
+    let fields: Vec<_> = (0..4).map(|i| b.field(&format!("f{i}"))).collect();
+    let mut ids = Vec::new();
+    for i in 0..num_tables {
+        let mut tb = b
+            .table(format!("t{i}"))
+            .key(fields[i % 4], MatchKind::Exact)
+            .action("proc", vec![Primitive::Nop]);
+        for e in 0..4u64 {
+            tb = tb.entry(TableEntry::new(vec![MatchValue::Exact(e)], 0));
+        }
+        ids.push(tb.action_nop("nop").finish());
+    }
+    (b.seal(ids[0]).expect("valid"), ids)
+}
+
+/// Like [`micro_pipeline`] but with a chosen match kind. Ternary tables
+/// install five distinct masks (the paper's §3.1 setting), LPM tables
+/// three prefixes.
+pub fn micro_pipeline_kind(num_tables: usize, kind: MatchKind) -> (ProgramGraph, Vec<NodeId>) {
+    let mut b = ProgramBuilder::named(format!("micro_{num_tables}_{kind:?}"));
+    let fields: Vec<_> = (0..4).map(|i| b.field(&format!("f{i}"))).collect();
+    let mut ids = Vec::new();
+    for i in 0..num_tables {
+        let mut tb = b
+            .table(format!("t{i}"))
+            .key(fields[i % 4], kind)
+            .action("proc", vec![Primitive::Nop]);
+        match kind {
+            MatchKind::Exact => {
+                for e in 0..4u64 {
+                    tb = tb.entry(TableEntry::new(vec![MatchValue::Exact(e)], 0));
+                }
+            }
+            MatchKind::Lpm => {
+                for p in 0..3u8 {
+                    tb = tb.entry(TableEntry::new(
+                        vec![MatchValue::Lpm {
+                            value: ((p as u64) + 1) << 40,
+                            prefix_len: 8 + 8 * p,
+                        }],
+                        0,
+                    ));
+                }
+            }
+            MatchKind::Ternary | MatchKind::Range => {
+                for m in 0..5u64 {
+                    tb = tb.entry(TableEntry::with_priority(
+                        vec![MatchValue::Ternary {
+                            value: m,
+                            mask: 0xFF << (8 * m),
+                        }],
+                        0,
+                        m as i32,
+                    ));
+                }
+            }
+        }
+        ids.push(tb.action_nop("nop").finish());
+    }
+    (b.seal(ids[0]).expect("valid"), ids)
+}
+
+/// Converts the table at `acl_pos` of a [`micro_pipeline`]-style program
+/// into an ACL keyed on its own field with a deny entry, preserving ids.
+pub fn with_acl_at(
+    num_tables: usize,
+    acl_pos: usize,
+    drop_value: u64,
+) -> (ProgramGraph, Vec<NodeId>, pipeleon_ir::FieldRef) {
+    let mut b = ProgramBuilder::named(format!("micro_acl_{num_tables}_{acl_pos}"));
+    let fields: Vec<_> = (0..4).map(|i| b.field(&format!("f{i}"))).collect();
+    let acl_field = b.field("acl.key");
+    let mut ids = Vec::new();
+    for i in 0..num_tables {
+        if i == acl_pos {
+            ids.push(
+                b.table("acl")
+                    .key(acl_field, MatchKind::Exact)
+                    .action_nop("permit")
+                    .action_drop("deny")
+                    .entry(TableEntry::new(vec![MatchValue::Exact(drop_value)], 1))
+                    .finish(),
+            );
+        } else {
+            let mut tb = b
+                .table(format!("t{i}"))
+                .key(fields[i % 4], MatchKind::Exact)
+                .action("proc", vec![Primitive::Nop]);
+            for e in 0..4u64 {
+                tb = tb.entry(TableEntry::new(vec![MatchValue::Exact(e)], 0));
+            }
+            ids.push(tb.action_nop("nop").finish());
+        }
+    }
+    (b.seal(ids[0]).expect("valid"), ids, acl_field)
+}
+
+/// Applies a hand-picked plan (used to measure *specific* layout options
+/// rather than whatever the search would choose).
+pub fn apply_manual(
+    g: &ProgramGraph,
+    order: Vec<NodeId>,
+    segments: Vec<(usize, usize, SegmentKind)>,
+    params: &CostParams,
+    cfg: &OptimizerConfig,
+) -> AppliedPlan {
+    let cand = Candidate {
+        pipelet: 0,
+        order,
+        segments: segments
+            .into_iter()
+            .map(|(start, end, kind)| Segment { start, end, kind })
+            .collect(),
+        gain: 1.0,
+        mem_cost: 0.0,
+        update_cost: 0.0,
+        group_branch: None,
+    };
+    let plan = GlobalPlan {
+        total_gain: 1.0,
+        total_mem: 0.0,
+        total_update: 0.0,
+        choices: vec![cand],
+    };
+    apply_plan(
+        g,
+        &plan,
+        &CostModel::new(params.clone()),
+        &RuntimeProfile::empty(),
+        cfg,
+    )
+    .expect("manual plan applies")
+}
+
+/// Percentile of a sample (sorts a copy); `q` in [0, 1].
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((s.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    s[idx]
+}
+
+/// Prints a CDF of samples as (value, cumulative fraction) rows with the
+/// given label columns prepended.
+pub fn print_cdf(prefix: &[String], samples: &[f64], points: usize) {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if s.is_empty() {
+        return;
+    }
+    for i in 0..points {
+        let q = (i + 1) as f64 / points as f64;
+        let idx = ((s.len() as f64 * q).ceil() as usize - 1).min(s.len() - 1);
+        let mut cols = prefix.to_vec();
+        cols.push(f(s[idx]));
+        cols.push(f(q));
+        row(&cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_pipeline_builds() {
+        let (g, ids) = micro_pipeline(8);
+        g.validate().unwrap();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn acl_variant_builds_at_every_position() {
+        for pos in [0, 3, 7] {
+            let (g, ids, _) = with_acl_at(8, pos, 0xDEAD);
+            g.validate().unwrap();
+            let name = g.node(ids[pos]).unwrap().name().to_owned();
+            assert_eq!(name, "acl");
+        }
+    }
+
+    #[test]
+    fn percentile_behaves() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 5.0);
+        assert_eq!(percentile(&s, 0.5), 3.0);
+    }
+
+    #[test]
+    fn manual_plan_applies_cache() {
+        let (g, ids) = micro_pipeline(4);
+        let applied = apply_manual(
+            &g,
+            ids.clone(),
+            vec![(0, 4, SegmentKind::Cache)],
+            &CostParams::bluefield2(),
+            &OptimizerConfig::default(),
+        );
+        assert_eq!(applied.cache_nodes.len(), 1);
+        applied.graph.validate().unwrap();
+    }
+}

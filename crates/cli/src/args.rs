@@ -1,0 +1,105 @@
+//! Minimal dependency-free argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals plus `--key value` / `-o value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Parses `argv` (without the program name). Flags take exactly one value;
+/// a trailing flag without a value is an error.
+pub fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+            out.flags.insert(name.to_owned(), value.clone());
+            i += 2;
+        } else {
+            out.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl Args {
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Numeric flag with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: {v:?} is not a number")),
+        }
+    }
+
+    /// Integer flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: {v:?} is not an integer")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = parse(&v(&[
+            "optimize",
+            "x.json",
+            "--target",
+            "agilio_cx",
+            "-o",
+            "y.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.positional, vec!["optimize", "x.json"]);
+        assert_eq!(a.get("target"), Some("agilio_cx"));
+        assert_eq!(a.get("o"), Some("y.json"));
+        assert_eq!(a.get_or("missing", "d"), "d");
+    }
+
+    #[test]
+    fn numeric_flags() {
+        let a = parse(&v(&["x", "--top-k", "0.4", "--packets", "100"])).unwrap();
+        assert_eq!(a.get_f64("top-k", 0.3).unwrap(), 0.4);
+        assert_eq!(a.get_usize("packets", 1).unwrap(), 100);
+        assert!(a.get_f64("packets", 0.0).is_ok());
+        let b = parse(&v(&["x", "--top-k", "abc"])).unwrap();
+        assert!(b.get_f64("top-k", 0.3).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&v(&["x", "--target"])).is_err());
+    }
+}

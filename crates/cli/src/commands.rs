@@ -1,0 +1,397 @@
+//! Command implementations.
+
+use crate::args::{parse, Args};
+use crate::profile_doc::{self, ProfileDoc};
+use pipeleon::hotspot::score_pipelets;
+use pipeleon::pipelet::partition;
+use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
+use pipeleon_cost::{Calibrator, CostModel, CostParams, ResourceModel, RuntimeProfile};
+use pipeleon_ir::json::{from_json_string, to_json_string};
+use pipeleon_ir::ProgramGraph;
+use pipeleon_sim::{Packet, SmartNic};
+use pipeleon_workloads::traffic::FlowGen;
+
+const USAGE: &str = "\
+pipeleon — profile-guided P4 SmartNIC optimizer (SIGCOMM'23 reproduction)
+
+USAGE:
+  pipeleon optimize <program> [--profile p.json] [--target T]
+           [--top-k F] [--memory BYTES] [--updates RATE] [-o out.json]
+  pipeleon simulate <program> [--target T] [--packets N]
+           [--flows N] [--zipf S] [--seed S] [--trace t.trace]
+           [--profile-out p.json]
+  pipeleon inspect  <program> [--target T] [--profile p.json]
+  pipeleon build    <program.p4> [-o out.json]
+  pipeleon calibrate [--target T]
+
+<program> is BMv2-style JSON IR, or P4-lite source (*.p4 / *.p4l).
+TARGETS: bluefield2 (default) | agilio_cx | emulated_nic";
+
+/// Entry point shared with tests.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv)?;
+    match args.positional.first().map(String::as_str) {
+        Some("optimize") => optimize(&args),
+        Some("simulate") => simulate(&args),
+        Some("inspect") => inspect(&args),
+        Some("build") => build(&args),
+        Some("calibrate") => calibrate(&args),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn target(args: &Args) -> Result<CostParams, String> {
+    match args.get_or("target", "bluefield2") {
+        "bluefield2" => Ok(CostParams::bluefield2()),
+        "agilio_cx" => Ok(CostParams::agilio_cx()),
+        "emulated_nic" => Ok(CostParams::emulated_nic()),
+        other => Err(format!(
+            "unknown target {other:?} (bluefield2 | agilio_cx | emulated_nic)"
+        )),
+    }
+}
+
+fn load_program(args: &Args) -> Result<ProgramGraph, String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing <program.json|program.p4> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".p4") || path.ends_with(".p4l") {
+        pipeleon_p4::parse_program(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        from_json_string(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_profile(args: &Args, g: &ProgramGraph) -> Result<RuntimeProfile, String> {
+    match args.get("profile") {
+        None => Ok(RuntimeProfile::empty()),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc: ProfileDoc =
+                serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            profile_doc::to_profile(&doc, g)
+        }
+    }
+}
+
+fn optimize(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    let profile = load_profile(args, &g)?;
+    let cfg = OptimizerConfig {
+        top_k_fraction: args.get_f64("top-k", 0.3)?,
+        ..OptimizerConfig::default()
+    };
+    let limits = ResourceLimits::new(
+        args.get_f64("memory", f64::INFINITY)?,
+        args.get_f64("updates", f64::INFINITY)?,
+    );
+    let optimizer = Optimizer::new(CostModel::new(params)).with_config(cfg);
+    let outcome = optimizer
+        .optimize(&g, &profile, limits)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "optimized {:?}: estimated gain {:.1} ns/packet, {} candidates in {:?}",
+        g.name, outcome.est_gain_ns, outcome.candidates_evaluated, outcome.search_time
+    );
+    for step in &outcome.applied.summary {
+        eprintln!("  - {step}");
+    }
+    if outcome.applied.summary.is_empty() {
+        eprintln!("  (no profitable transformation found; output = input layout)");
+    }
+    let json = to_json_string(&outcome.applied.graph).map_err(|e| e.to_string())?;
+    match args.get("o") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `build`: P4-lite source → JSON IR.
+fn build(args: &Args) -> Result<(), String> {
+    let g = load_program(args)?;
+    let json = to_json_string(&g).map_err(|e| e.to_string())?;
+    eprintln!(
+        "built {:?}: {} tables, {} nodes",
+        g.name,
+        g.tables().count(),
+        g.num_nodes()
+    );
+    match args.get("o") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    let packets = args.get_usize("packets", 20_000)?;
+    let flows = args.get_usize("flows", 1000)?;
+    let zipf = args.get_f64("zipf", 0.0)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let mut nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
+    nic.set_instrumentation(true, 1);
+    let batch: Vec<Packet> = match args.get("trace") {
+        Some(path) => {
+            // Trace-driven replay, looped to reach the requested count.
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let trace = pipeleon_workloads::trace::Trace::parse(&text, &g)?;
+            if trace.is_empty() {
+                return Err(format!("{path}: trace has no packets"));
+            }
+            let repeat = packets.div_ceil(trace.len());
+            let mut b = trace.replay(&g, repeat);
+            b.truncate(packets);
+            b
+        }
+        None => {
+            // Flow fields: every field any table matches on.
+            let mut flow_fields = Vec::new();
+            for (_, t) in g.tables() {
+                for k in &t.keys {
+                    if !flow_fields.contains(&k.field) {
+                        flow_fields.push(k.field);
+                    }
+                }
+            }
+            FlowGen::new(g.fields.len(), flow_fields, flows, seed)
+                .with_zipf(zipf)
+                .batch(packets)
+        }
+    };
+    let stats = nic.measure(batch);
+    println!("packets:           {}", stats.packets);
+    println!("dropped:           {}", stats.dropped);
+    println!("mean latency (ns): {:.1}", stats.mean_latency_ns);
+    println!("p99 latency (ns):  {:.1}", stats.p99_latency_ns);
+    println!(
+        "throughput (Gbps): {:.2} of {:.0} offered",
+        stats.throughput_gbps, stats.offered_gbps
+    );
+    if let Some(path) = args.get("profile-out") {
+        let profile = nic.take_profile();
+        let doc = profile_doc::from_profile(&profile, &g);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote collected profile to {path}");
+    }
+    Ok(())
+}
+
+fn inspect(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    let profile = load_profile(args, &g)?;
+    let model = CostModel::new(params.clone());
+    let resources = ResourceModel::new(params);
+    println!(
+        "program {:?}: {} tables, {} nodes, {} fields",
+        g.name,
+        g.tables().count(),
+        g.num_nodes(),
+        g.fields.len()
+    );
+    println!(
+        "expected latency: {:.1} ns/packet; memory: {:.0} bytes",
+        model.expected_latency(&g, &profile),
+        resources.program_memory(&g)
+    );
+    let pipelets = partition(&g, 24);
+    let scores = score_pipelets(&model, &g, &profile, &pipelets);
+    println!("pipelets ({}):", pipelets.len());
+    for (p, s) in pipelets.iter().zip(&scores) {
+        let names: Vec<&str> = p
+            .tables
+            .iter()
+            .filter_map(|&id| g.node(id).map(|n| n.name()))
+            .collect();
+        println!(
+            "  #{:<3} cost {:>8.2} ns  reach {:>5.1}%  [{}]",
+            p.id,
+            s.cost,
+            100.0 * s.reach,
+            names.join(" -> ")
+        );
+    }
+    Ok(())
+}
+
+fn calibrate(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let cal = Calibrator::default();
+    let report = cal.run(|g| {
+        let mut nic = SmartNic::new(g.clone(), params.clone()).expect("deploys");
+        let key = g.fields.get("key").expect("calibration field");
+        let packets: Vec<Packet> = (0..2000)
+            .map(|i| {
+                let mut p = Packet::new(&g.fields);
+                p.set(key, i % 64);
+                p
+            })
+            .collect();
+        nic.mean_latency(packets)
+    });
+    println!("calibrated against target {:?}:", params.name);
+    println!("  programs measured: {}", report.programs_measured);
+    println!("  L_mat     = {:.3} ns", report.l_mat);
+    println!("  L_act     = {:.3} ns", report.l_act);
+    println!("  m_lpm     = {:.3}", report.m_lpm);
+    println!("  m_ternary = {:.3}", report.m_ternary);
+    println!(
+        "  fits: exact r2 = {:.5}, action r2 = {:.5}",
+        report.exact_fit.r2, report.action_fit.r2
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn write_sample_program(dir: &std::path::Path) -> std::path::PathBuf {
+        use pipeleon_ir::{MatchKind, MatchValue, ProgramBuilder, TableEntry};
+        let mut b = ProgramBuilder::named("cli_sample");
+        let f = b.field("x");
+        let acl = b
+            .table("acl")
+            .key(f, MatchKind::Exact)
+            .action_nop("permit")
+            .action_drop("deny")
+            .entry(TableEntry::new(vec![MatchValue::Exact(5)], 1))
+            .finish();
+        let _t = b.table("t").key(f, MatchKind::Exact).finish();
+        let g = b.seal(acl).unwrap();
+        let path = dir.join("prog.json");
+        std::fs::write(&path, to_json_string(&g).unwrap()).unwrap();
+        path
+    }
+
+    #[test]
+    fn usage_on_no_args() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn optimize_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let out = dir.join("out.json");
+        run(&v(&[
+            "optimize",
+            prog.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let g = from_json_string(&text).unwrap();
+        g.validate().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_and_inspect_run() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let profile_out = dir.join("prof.json");
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "2000",
+            "--profile-out",
+            profile_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The collected profile feeds back into optimize and inspect.
+        run(&v(&[
+            "inspect",
+            prog.to_str().unwrap(),
+            "--profile",
+            profile_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&v(&[
+            "optimize",
+            prog.to_str().unwrap(),
+            "--profile",
+            profile_out.to_str().unwrap(),
+            "-o",
+            dir.join("out.json").to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_compiles_p4lite_to_json() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test4_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("prog.p4");
+        std::fs::write(
+            &src,
+            r#"program cli_p4;
+               fields x;
+               action deny() { drop; }
+               table acl { key = { x: exact; } actions = { deny; }
+                           const entries = { (9) : deny; } }
+               control { acl; }"#,
+        )
+        .unwrap();
+        let out = dir.join("prog.json");
+        run(&v(&[
+            "build",
+            src.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let g = from_json_string(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(g.tables().count(), 1);
+        // And optimize/simulate accept the .p4 directly.
+        run(&v(&["simulate", src.to_str().unwrap(), "--packets", "500"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_target_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test3_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let err = run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--target",
+            "tofino",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown target"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

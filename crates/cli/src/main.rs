@@ -1,0 +1,31 @@
+//! `pipeleon` — command-line front end for the Pipeleon optimizer.
+//!
+//! ```text
+//! pipeleon optimize <program.json> [--profile p.json] [--target T]
+//!          [--top-k F] [--memory BYTES] [--updates RATE] [-o out.json]
+//! pipeleon simulate <program.json> [--target T] [--packets N]
+//!          [--flows N] [--zipf S] [--seed S]
+//! pipeleon inspect  <program.json> [--target T] [--profile p.json]
+//! pipeleon calibrate [--target T]
+//! ```
+//!
+//! Programs use the BMv2-style JSON IR (`pipeleon_ir::json`). Profiles use
+//! the record-based format of [`profile_doc`]. Targets:
+//! `bluefield2` (default), `agilio_cx`, `emulated_nic`.
+
+mod args;
+mod commands;
+mod profile_doc;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Hot-pipelet detection (§4.1.2): score pipelets as `L(G′)·P(G′)` —
+//! member-node cost weighted by reach probability — and pick the top-k.
+
+use crate::pipelet::Pipelet;
+use pipeleon_cost::{CostModel, RuntimeProfile};
+use pipeleon_ir::ProgramGraph;
+
+/// A pipelet's contribution to the program's expected latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeletScore {
+    /// Pipelet id.
+    pub pipelet: usize,
+    /// `Σ_{v∈pipelet} p(v)·L(v)` in ns.
+    pub cost: f64,
+    /// Probability a packet reaches the pipelet's entry.
+    pub reach: f64,
+}
+
+/// Scores every pipelet under the model and profile.
+pub fn score_pipelets(
+    model: &CostModel,
+    g: &ProgramGraph,
+    profile: &RuntimeProfile,
+    pipelets: &[Pipelet],
+) -> Vec<PipeletScore> {
+    let visits = profile.visit_probabilities(g);
+    pipelets
+        .iter()
+        .map(|p| PipeletScore {
+            pipelet: p.id,
+            cost: model.subset_cost(g, &p.tables, profile),
+            reach: visits.get(p.entry().index()).copied().unwrap_or(0.0),
+        })
+        .collect()
+}
+
+/// Selects the top `fraction` of pipelets by cost (at least one if any
+/// exist; `fraction = 1.0` selects all — the ESearch baseline). Returned
+/// ids are sorted by descending cost.
+pub fn top_k(scores: &[PipeletScore], fraction: f64) -> Vec<usize> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let mut ranked: Vec<&PipeletScore> = scores.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.cost
+            .partial_cmp(&a.cost)
+            .expect("costs are finite")
+            .then(a.pipelet.cmp(&b.pipelet))
+    });
+    let k =
+        ((scores.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize).clamp(1, scores.len());
+    ranked[..k].iter().map(|s| s.pipelet).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipelet::partition;
+    use pipeleon_cost::CostParams;
+    use pipeleon_ir::{Condition, EdgeRef, MatchKind, Primitive, ProgramBuilder};
+
+    /// branch -> {heavy (90% traffic) | light (10%)}.
+    fn skewed_program() -> (ProgramGraph, RuntimeProfile) {
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let heavy = b
+            .table("heavy")
+            .key(f, MatchKind::Ternary)
+            .action("a", vec![Primitive::Nop; 4])
+            .finish();
+        b.set_next(heavy, None);
+        let light = b.table("light").key(f, MatchKind::Exact).finish();
+        b.set_next(light, None);
+        let br = b.branch("br", Condition::lt(f, 900), Some(heavy), Some(light));
+        let g = b.seal(br).unwrap();
+        let mut p = RuntimeProfile::empty();
+        p.record_edge(EdgeRef::new(br, 0), 900);
+        p.record_edge(EdgeRef::new(br, 1), 100);
+        (g, p)
+    }
+
+    #[test]
+    fn heavy_pipelet_scores_higher() {
+        let (g, prof) = skewed_program();
+        let ps = partition(&g, 8);
+        let model = CostModel::new(CostParams::bluefield2());
+        let scores = score_pipelets(&model, &g, &prof, &ps);
+        assert_eq!(scores.len(), 2);
+        let heavy_score = scores
+            .iter()
+            .find(|s| (s.reach - 0.9).abs() < 1e-9)
+            .unwrap();
+        let light_score = scores
+            .iter()
+            .find(|s| (s.reach - 0.1).abs() < 1e-9)
+            .unwrap();
+        assert!(heavy_score.cost > light_score.cost * 5.0);
+    }
+
+    #[test]
+    fn top_k_selects_by_cost() {
+        let scores = vec![
+            PipeletScore {
+                pipelet: 0,
+                cost: 5.0,
+                reach: 1.0,
+            },
+            PipeletScore {
+                pipelet: 1,
+                cost: 50.0,
+                reach: 1.0,
+            },
+            PipeletScore {
+                pipelet: 2,
+                cost: 20.0,
+                reach: 1.0,
+            },
+        ];
+        assert_eq!(top_k(&scores, 0.333), vec![1]);
+        assert_eq!(top_k(&scores, 0.666), vec![1, 2]);
+        assert_eq!(top_k(&scores, 1.0), vec![1, 2, 0]);
+        // At least one is always selected.
+        assert_eq!(top_k(&scores, 0.0), vec![1]);
+        assert!(top_k(&[], 0.5).is_empty());
+    }
+}

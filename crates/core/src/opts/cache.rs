@@ -1,0 +1,279 @@
+//! Table caching (§3.2.2): estimation of cache-segment latency, hit rate,
+//! and resource costs.
+//!
+//! A cache over tables `[T_i..T_j]` is an exact-match table keyed on the
+//! union of the segment's match fields. Its expected latency is
+//!
+//! ```text
+//! L = L_mat + h·A_seg + (1−h)·(L_seg + L_insert)
+//! ```
+//!
+//! where `A_seg` is the action-replay cost (hits still execute the
+//! recorded actions) and `L_seg` the original segment cost. The hit-rate
+//! estimate `h` starts from the configured default and is degraded by two
+//! effects the paper calls out: the **cross-product problem** (the joint
+//! key space is the product of per-table distinct key counts, which can
+//! dwarf the cache capacity) and **invalidation pressure** (entry updates
+//! to covered tables flush the cache).
+
+use super::EvalCtx;
+use pipeleon_ir::{DependencyAnalysis, NodeId, RwSets};
+
+/// Whether a cache over `tables` is semantically allowed: every member is
+/// a plain always-next table (no switch-case, no existing cache) and no
+/// member writes a field a later member matches on.
+pub fn segment_allowed(ctx: &EvalCtx<'_>, tables: &[NodeId]) -> bool {
+    let mut sets = Vec::with_capacity(tables.len());
+    for &id in tables {
+        let Some(node) = ctx.g.node(id) else {
+            return false;
+        };
+        let Some(t) = node.as_table() else {
+            return false;
+        };
+        if node.is_switch_case() || t.cache_role != pipeleon_ir::CacheRole::None {
+            return false;
+        }
+        if t.keys.is_empty() {
+            // A keyless table's outcome is constant; caching it is
+            // pointless and would produce an empty cache key.
+            return false;
+        }
+        sets.push(RwSets::of_node(node));
+    }
+    !tables.is_empty() && DependencyAnalysis::cacheable_segment(&sets)
+}
+
+/// The estimated hit rate of a cache over `tables`. A measured hit rate
+/// from a previously deployed cache over the same tables takes precedence
+/// over the static estimate (§3.2.2 runtime monitoring).
+pub fn estimated_hit_rate(ctx: &EvalCtx<'_>, tables: &[NodeId]) -> f64 {
+    if let Some(measured) = ctx.profile.cache_hint(tables) {
+        return measured;
+    }
+    let mut h = ctx.cfg.default_hit_rate;
+    // Cross-product key space vs. capacity.
+    let mut keyspace: f64 = 1.0;
+    for &id in tables {
+        let distinct = ctx
+            .profile
+            .distinct_keys_of(id)
+            .unwrap_or_else(|| {
+                ctx.g
+                    .node(id)
+                    .and_then(|n| n.as_table())
+                    .map(|t| (t.entries.len() as u64 + 1).max(2))
+                    .unwrap_or(2)
+            })
+            .max(1);
+        keyspace *= distinct as f64;
+    }
+    if keyspace > ctx.cfg.cache_capacity as f64 {
+        h *= ctx.cfg.cache_capacity as f64 / keyspace;
+    }
+    // Invalidation pressure from covered-table entry updates.
+    let update_rate: f64 = tables
+        .iter()
+        .map(|&id| ctx.profile.entry_update_rate(id))
+        .sum();
+    h /= 1.0 + ctx.cfg.invalidation_coeff * update_rate;
+    h.clamp(0.0, 1.0)
+}
+
+/// Expected `(latency, drop_rate)` of the cached segment, conditioned on
+/// a packet entering it.
+pub fn segment_latency(ctx: &EvalCtx<'_>, tables: &[NodeId]) -> Option<(f64, f64)> {
+    if !segment_allowed(ctx, tables) {
+        return None;
+    }
+    let h = estimated_hit_rate(ctx, tables);
+    let params = &ctx.model.params;
+    // Replay cost on a hit: actions of the tables the packet would have
+    // traversed (drop-shortened).
+    let mut replay = 0.0;
+    let mut orig = 0.0;
+    let mut survive = 1.0;
+    for &id in tables {
+        replay += survive * ctx.action_cost(id);
+        orig += survive * ctx.table_cost(id);
+        survive *= 1.0 - ctx.drop_rate(id);
+    }
+    let drop = 1.0 - survive;
+    let latency = params.l_mat + h * replay + (1.0 - h) * (orig + params.l_cache_insert);
+    Some((latency, drop))
+}
+
+/// `(memory, update-rate)` cost of creating this cache: the reserved
+/// capacity, plus the insertion load (misses installing entries, capped by
+/// the configured insertion limit).
+pub fn segment_costs(ctx: &EvalCtx<'_>, tables: &[NodeId]) -> (f64, f64) {
+    let mem = (ctx.cfg.cache_capacity * pipeleon_ir::Table::DEFAULT_ENTRY_BYTES) as f64;
+    let h = estimated_hit_rate(ctx, tables);
+    let entering = ctx.profile.packet_rate() * ctx.reach;
+    let insertions = ((1.0 - h) * entering).min(ctx.cfg.cache_insertion_limit);
+    (mem, insertions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizerConfig;
+    use pipeleon_cost::{CostModel, CostParams, RuntimeProfile};
+    use pipeleon_ir::{MatchKind, MatchValue, Primitive, ProgramBuilder, ProgramGraph, TableEntry};
+
+    fn fixture(kinds: &[MatchKind]) -> (ProgramGraph, Vec<NodeId>) {
+        let mut b = ProgramBuilder::new();
+        let mut ids = Vec::new();
+        for (i, &k) in kinds.iter().enumerate() {
+            let f = b.field(&format!("f{i}"));
+            let mut tb = b
+                .table(format!("t{i}"))
+                .key(f, k)
+                .action("a", vec![Primitive::Nop]);
+            match k {
+                MatchKind::Ternary => {
+                    for m in 0..5u64 {
+                        tb = tb.entry(TableEntry::with_priority(
+                            vec![MatchValue::Ternary {
+                                value: m,
+                                mask: 0xFF << (8 * m),
+                            }],
+                            0,
+                            m as i32,
+                        ));
+                    }
+                }
+                MatchKind::Exact => {
+                    tb = tb.entry(TableEntry::new(vec![MatchValue::Exact(1)], 0));
+                }
+                _ => {}
+            }
+            ids.push(tb.finish());
+        }
+        (b.seal(ids[0]).unwrap(), ids)
+    }
+
+    fn eval<'a>(
+        g: &'a ProgramGraph,
+        model: &'a CostModel,
+        cfg: &'a OptimizerConfig,
+        profile: &'a RuntimeProfile,
+    ) -> EvalCtx<'a> {
+        EvalCtx {
+            model,
+            cfg,
+            g,
+            profile,
+            reach: 1.0,
+        }
+    }
+
+    #[test]
+    fn caching_expensive_tables_wins() {
+        let (g, ids) = fixture(&[MatchKind::Ternary, MatchKind::Ternary]);
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let profile = RuntimeProfile::empty();
+        let ctx = eval(&g, &model, &cfg, &profile);
+        let (cached, _) = segment_latency(&ctx, &ids).unwrap();
+        let plain = ctx.sequence_latency(&ids);
+        assert!(cached < plain, "cached={cached} plain={plain}");
+    }
+
+    #[test]
+    fn cross_product_degrades_hit_rate() {
+        let (g, ids) = fixture(&[MatchKind::Exact, MatchKind::Exact, MatchKind::Exact]);
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let mut profile = RuntimeProfile::empty();
+        // Each table sees 40 distinct keys; jointly 64000 >> capacity 4096.
+        for &id in &ids {
+            profile.set_distinct_keys(id, 40);
+        }
+        let ctx = eval(&g, &model, &cfg, &profile);
+        let h_joint = estimated_hit_rate(&ctx, &ids);
+        let h_single = estimated_hit_rate(&ctx, &ids[..1]);
+        assert!(h_single > 0.85, "h_single = {h_single}");
+        assert!(h_joint < 0.1, "h_joint = {h_joint}");
+    }
+
+    #[test]
+    fn invalidation_pressure_degrades_hit_rate() {
+        let (g, ids) = fixture(&[MatchKind::Exact, MatchKind::Exact]);
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let mut profile = RuntimeProfile::empty();
+        let ctx = eval(&g, &model, &cfg, &profile);
+        let h_quiet = estimated_hit_rate(&ctx, &ids);
+        profile.set_entry_update_rate(ids[0], 500.0);
+        let ctx = eval(&g, &model, &cfg, &profile);
+        let h_churn = estimated_hit_rate(&ctx, &ids);
+        assert!(h_churn < h_quiet * 0.2, "quiet={h_quiet} churn={h_churn}");
+    }
+
+    #[test]
+    fn measured_hint_overrides_estimate() {
+        let (g, ids) = fixture(&[MatchKind::Exact, MatchKind::Exact]);
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let mut profile = RuntimeProfile::empty();
+        // Static estimate would be ~0.9; a measured 0.2 must win, in any
+        // table order.
+        profile.set_cache_hint(vec![ids[1], ids[0]], 0.2);
+        let ctx = eval(&g, &model, &cfg, &profile);
+        assert_eq!(estimated_hit_rate(&ctx, &ids), 0.2);
+        assert_eq!(estimated_hit_rate(&ctx, &[ids[1], ids[0]]), 0.2);
+        // A different segment still uses the estimate.
+        assert!(estimated_hit_rate(&ctx, &ids[..1]) > 0.8);
+    }
+
+    #[test]
+    fn dependent_segment_disallowed() {
+        // t0 writes "y"; t1 matches "y" -> not cacheable as one unit.
+        let mut b = ProgramBuilder::new();
+        let x = b.field("x");
+        let y = b.field("y");
+        let t0 = b
+            .table("t0")
+            .key(x, MatchKind::Exact)
+            .action("w", vec![Primitive::set(y, 1)])
+            .finish();
+        let t1 = b.table("t1").key(y, MatchKind::Exact).finish();
+        let g = b.seal(t0).unwrap();
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let profile = RuntimeProfile::empty();
+        let ctx = eval(&g, &model, &cfg, &profile);
+        assert!(!segment_allowed(&ctx, &[t0, t1]));
+        assert!(segment_allowed(&ctx, &[t0]));
+        assert!(segment_allowed(&ctx, &[t1]));
+    }
+
+    #[test]
+    fn keyless_tables_not_cacheable() {
+        let mut b = ProgramBuilder::new();
+        let t = b.table("keyless").action_nop("a").finish();
+        let g = b.seal(t).unwrap();
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let profile = RuntimeProfile::empty();
+        let ctx = eval(&g, &model, &cfg, &profile);
+        assert!(!segment_allowed(&ctx, &[t]));
+    }
+
+    #[test]
+    fn costs_reflect_capacity_and_insertions() {
+        let (g, ids) = fixture(&[MatchKind::Exact]);
+        let model = CostModel::new(CostParams::bluefield2());
+        let cfg = OptimizerConfig::default();
+        let mut profile = RuntimeProfile::empty();
+        profile.total_packets = 1_000_000;
+        profile.window_s = 1.0;
+        let ctx = eval(&g, &model, &cfg, &profile);
+        let (mem, upd) = segment_costs(&ctx, &ids);
+        assert_eq!(mem, (cfg.cache_capacity * 32) as f64);
+        // 10% miss of 1M pps = 100k, capped at the insertion limit.
+        assert!(upd <= cfg.cache_insertion_limit + 1e-9);
+        assert!(upd > 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The three performance optimizations (§3.2) and candidate evaluation.
+//!
+//! * [`reorder`] — dependency-respecting table reordering (§3.2.1).
+//! * [`cache`] — flow-cache segment enumeration and hit-rate estimation
+//!   (§3.2.2).
+//! * [`merge`] — table merging with cross-product materialization and the
+//!   merged-exact-as-cache fallback (§3.2.3).
+//!
+//! [`enumerate_candidates`] combines them per pipelet: every valid order ×
+//! every valid disjoint segmentation, each evaluated against the cost
+//! model for gain and resource costs (the `LocalOptimize` of Appendix
+//! A.1). A table covered by a merge segment is never simultaneously
+//! cached (the paper's conflict rule).
+
+pub mod cache;
+pub mod merge;
+pub mod reorder;
+
+use crate::config::OptimizerConfig;
+use crate::plan::{Candidate, Segment, SegmentKind};
+use pipeleon_cost::{CostModel, RuntimeProfile};
+use pipeleon_ir::{NodeId, ProgramGraph};
+
+/// Shared context for evaluating candidates of one pipelet.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// The cost model.
+    pub model: &'a CostModel,
+    /// Optimizer tunables.
+    pub cfg: &'a OptimizerConfig,
+    /// The (original) program.
+    pub g: &'a ProgramGraph,
+    /// The runtime profile.
+    pub profile: &'a RuntimeProfile,
+    /// Probability a packet reaches this pipelet.
+    pub reach: f64,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Per-table total cost (match + action), conditioned on entry.
+    pub fn table_cost(&self, id: NodeId) -> f64 {
+        self.model.node_cost(self.g, id, self.profile)
+    }
+
+    /// Per-table action-only cost.
+    pub fn action_cost(&self, id: NodeId) -> f64 {
+        let Some(t) = self.g.node(id).and_then(|n| n.as_table()) else {
+            return 0.0;
+        };
+        let probs = self.profile.action_probs(self.g, id);
+        self.model.action_cost(t, &probs)
+    }
+
+    /// Per-table drop rate.
+    pub fn drop_rate(&self, id: NodeId) -> f64 {
+        self.profile.drop_rate(self.g, id)
+    }
+
+    /// Expected latency of executing `order` plainly (no segments),
+    /// conditioned on entering the pipelet: early drops shorten the walk.
+    pub fn sequence_latency(&self, order: &[NodeId]) -> f64 {
+        let mut survive = 1.0;
+        let mut total = 0.0;
+        for &id in order {
+            total += survive * self.table_cost(id);
+            survive *= 1.0 - self.drop_rate(id);
+        }
+        total
+    }
+
+    /// Expected latency of `order` with cache/merge segments applied.
+    /// Returns `None` when a segment is invalid (e.g. a merge that cannot
+    /// materialize within limits).
+    pub fn candidate_latency(&self, order: &[NodeId], segments: &[Segment]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut survive = 1.0;
+        let mut i = 0;
+        while i < order.len() {
+            if let Some(seg) = segments.iter().find(|s| s.start == i) {
+                let tables = &order[seg.start..seg.end];
+                let (seg_latency, seg_drop) = match seg.kind {
+                    SegmentKind::Cache => cache::segment_latency(self, tables)?,
+                    SegmentKind::Merge { as_cache } => {
+                        merge::segment_latency(self, tables, as_cache)?
+                    }
+                };
+                total += survive * seg_latency;
+                survive *= 1.0 - seg_drop;
+                i = seg.end;
+            } else {
+                let id = order[i];
+                total += survive * self.table_cost(id);
+                survive *= 1.0 - self.drop_rate(id);
+                i += 1;
+            }
+        }
+        Some(total)
+    }
+
+    /// The combined drop rate of a table run.
+    pub fn segment_drop_rate(&self, tables: &[NodeId]) -> f64 {
+        1.0 - tables
+            .iter()
+            .fold(1.0, |s, &id| s * (1.0 - self.drop_rate(id)))
+    }
+}
+
+/// Enumerates evaluated candidates for one pipelet (identified by
+/// `pipelet_id`) whose tables are `tables` in current order. Candidates
+/// with non-positive gain are dropped; the result is sorted by descending
+/// gain and truncated to `max_candidates`.
+pub fn enumerate_candidates(
+    ctx: &EvalCtx<'_>,
+    pipelet_id: usize,
+    tables: &[NodeId],
+    max_candidates: usize,
+) -> Vec<Candidate> {
+    let baseline = ctx.sequence_latency(tables);
+    let mut orders = if ctx.cfg.enable_reorder {
+        reorder::valid_orders(ctx, tables)
+    } else {
+        vec![tables.to_vec()]
+    };
+    // Keep the most promising orders (drop-aware expected latency) to
+    // bound the order × segmentation product, always retaining the
+    // original order as the segments-only baseline.
+    if orders.len() > ctx.cfg.max_orders.max(1) {
+        let original = orders[0].clone();
+        orders.sort_by(|a, b| {
+            ctx.sequence_latency(a)
+                .partial_cmp(&ctx.sequence_latency(b))
+                .expect("finite latencies")
+        });
+        orders.truncate(ctx.cfg.max_orders.max(1));
+        if !orders.contains(&original) {
+            orders.push(original);
+        }
+    }
+    let mut out: Vec<Candidate> = Vec::new();
+    for order in &orders {
+        for segments in enumerate_segmentations(ctx, order) {
+            let Some(lat) = ctx.candidate_latency(order, &segments) else {
+                continue;
+            };
+            let gain = ctx.reach * (baseline - lat);
+            if gain <= 1e-12 {
+                continue;
+            }
+            let (mem, upd) = segment_costs(ctx, order, &segments);
+            out.push(Candidate {
+                pipelet: pipelet_id,
+                order: order.clone(),
+                segments,
+                gain,
+                mem_cost: mem,
+                update_cost: upd,
+                group_branch: None,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.gain.partial_cmp(&a.gain).expect("finite gains"));
+    out.truncate(max_candidates);
+    out
+}
+
+/// All disjoint segmentations of `order` with cache and merge segments
+/// (including the empty segmentation). Bounded by construction: pipelets
+/// are at most `max_pipelet_len` tables.
+fn enumerate_segmentations(ctx: &EvalCtx<'_>, order: &[NodeId]) -> Vec<Vec<Segment>> {
+    let n = order.len();
+    let mut out = Vec::new();
+    let mut current: Vec<Segment> = Vec::new();
+    fn recurse(
+        ctx: &EvalCtx<'_>,
+        order: &[NodeId],
+        pos: usize,
+        current: &mut Vec<Segment>,
+        out: &mut Vec<Vec<Segment>>,
+    ) {
+        if out.len() >= ctx.cfg.max_segmentations.max(1) {
+            return;
+        }
+        let n = order.len();
+        if pos >= n {
+            out.push(current.clone());
+            return;
+        }
+        // Option 1: leave `pos` uncovered.
+        recurse(ctx, order, pos + 1, current, out);
+        // Option 2: a cache segment [pos, j).
+        for j in (pos + 1)..=n {
+            if !ctx.cfg.enable_cache {
+                break;
+            }
+            if !cache::segment_allowed(ctx, &order[pos..j]) {
+                // Longer segments only get more constrained.
+                break;
+            }
+            current.push(Segment {
+                start: pos,
+                end: j,
+                kind: SegmentKind::Cache,
+            });
+            recurse(ctx, order, j, current, out);
+            current.pop();
+        }
+        // Option 3: a merge segment [pos, j), j - pos >= 2, both flavours.
+        let max_j = if ctx.cfg.enable_merge {
+            (pos + ctx.cfg.max_merge_tables).min(n)
+        } else {
+            0
+        };
+        for j in (pos + 2)..=max_j {
+            if !merge::segment_allowed(ctx, &order[pos..j]) {
+                break;
+            }
+            for as_cache in [true, false] {
+                current.push(Segment {
+                    start: pos,
+                    end: j,
+                    kind: SegmentKind::Merge { as_cache },
+                });
+                recurse(ctx, order, j, current, out);
+                current.pop();
+            }
+        }
+    }
+    recurse(ctx, order, 0, &mut current, &mut out);
+    let _ = n;
+    out
+}
+
+/// Total extra memory / update-rate cost of a segmentation.
+fn segment_costs(ctx: &EvalCtx<'_>, order: &[NodeId], segments: &[Segment]) -> (f64, f64) {
+    let mut mem = 0.0;
+    let mut upd = 0.0;
+    for seg in segments {
+        let tables = &order[seg.start..seg.end];
+        let (m, u) = match seg.kind {
+            SegmentKind::Cache => cache::segment_costs(ctx, tables),
+            SegmentKind::Merge { as_cache } => merge::segment_costs(ctx, tables, as_cache),
+        };
+        mem += m;
+        upd += u;
+    }
+    (mem, upd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_cost::CostParams;
+    use pipeleon_ir::{MatchKind, ProgramBuilder};
+
+    fn ctx_fixture() -> (ProgramGraph, Vec<NodeId>, CostModel, OptimizerConfig) {
+        let mut b = ProgramBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let f = b.field(&format!("f{i}"));
+            ids.push(b.table(format!("t{i}")).key(f, MatchKind::Exact).finish());
+        }
+        let g = b.seal(ids[0]).unwrap();
+        (
+            g,
+            ids,
+            CostModel::new(CostParams::bluefield2()),
+            OptimizerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn sequence_latency_sums_table_costs() {
+        let (g, ids, model, cfg) = ctx_fixture();
+        let profile = RuntimeProfile::empty();
+        let ctx = EvalCtx {
+            model: &model,
+            cfg: &cfg,
+            g: &g,
+            profile: &profile,
+            reach: 1.0,
+        };
+        let per_table = ctx.table_cost(ids[0]);
+        let total = ctx.sequence_latency(&ids);
+        assert!((total - 3.0 * per_table).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segmentations_cover_expected_space() {
+        let (g, ids, model, cfg) = ctx_fixture();
+        let profile = RuntimeProfile::empty();
+        let ctx = EvalCtx {
+            model: &model,
+            cfg: &cfg,
+            g: &g,
+            profile: &profile,
+            reach: 1.0,
+        };
+        let segs = enumerate_segmentations(&ctx, &ids);
+        // Must contain at least: empty, [0..1]c, [0..2]c, [0..3]c, …
+        assert!(segs.iter().any(|s| s.is_empty()));
+        assert!(segs.len() > 5);
+        // All disjoint and sorted.
+        for s in &segs {
+            for w in s.windows(2) {
+                assert!(w[0].end <= w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_have_positive_gain_and_sorted() {
+        let (g, ids, model, cfg) = ctx_fixture();
+        let profile = RuntimeProfile::empty();
+        let ctx = EvalCtx {
+            model: &model,
+            cfg: &cfg,
+            g: &g,
+            profile: &profile,
+            reach: 1.0,
+        };
+        let cands = enumerate_candidates(&ctx, 0, &ids, 64);
+        for c in &cands {
+            assert!(c.gain > 0.0);
+        }
+        for w in cands.windows(2) {
+            assert!(w[0].gain >= w[1].gain);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Pipelet formation (§4.1.1).
+//!
+//! A pipelet is a branch-free chain of MA tables — the optimizer's basic
+//! unit. Partitioning cuts the program at conditional branches and
+//! switch-case tables (both create multiple dataflows); switch-case tables
+//! form their own single-table pipelets. Overly long pipelets are split to
+//! bound candidate enumeration; short neighboring pipelets under a common
+//! branch can be grouped for joint (cross-pipelet) optimization.
+
+use pipeleon_ir::{NodeId, NodeKind, ProgramGraph};
+
+/// A branch-free chain of table nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipelet {
+    /// Dense pipelet index within the partition.
+    pub id: usize,
+    /// The member tables, in execution order (non-empty).
+    pub tables: Vec<NodeId>,
+    /// The node control flows to after the last table (`None` = sink).
+    /// Switch-case pipelets have no single exit and use `None`.
+    pub exit: Option<NodeId>,
+    /// Whether this pipelet is a lone switch-case table.
+    pub switch_case: bool,
+}
+
+impl Pipelet {
+    /// The chain's entry node.
+    pub fn entry(&self) -> NodeId {
+        self.tables[0]
+    }
+
+    /// Number of member tables (PL).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Pipelets are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A group of pipelets under one branch with a common join point
+/// (§4.1.1): one node receives all incoming traffic (the branch) and all
+/// traffic leaves to the same node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeletGroup {
+    /// The branch node all traffic enters through.
+    pub branch: NodeId,
+    /// Member pipelet ids (per arm; an arm bypassing straight to the join
+    /// contributes no pipelet).
+    pub members: Vec<usize>,
+    /// The common join node (`None` = both arms run to the sink).
+    pub exit: Option<NodeId>,
+}
+
+/// Partitions `g` into pipelets. Chains longer than `max_len` are split.
+///
+/// Chain heads are table nodes that are the root, are targeted by a branch
+/// or switch-case table, or have more than one predecessor. A chain
+/// extends along `Always` edges through single-predecessor, non-switch-case
+/// table nodes.
+pub fn partition(g: &ProgramGraph, max_len: usize) -> Vec<Pipelet> {
+    let max_len = max_len.max(1);
+    let preds = g.predecessors();
+    let reach = g.reachable();
+    let is_table = |id: NodeId| {
+        g.node(id)
+            .map(|n| matches!(n.kind, NodeKind::Table(_)))
+            .unwrap_or(false)
+    };
+    let is_switch = |id: NodeId| g.node(id).map(|n| n.is_switch_case()).unwrap_or(false);
+
+    // A table is a head if it cannot be absorbed into a predecessor chain.
+    let mut heads: Vec<NodeId> = Vec::new();
+    for n in g.iter_nodes() {
+        if !reach[n.id.index()] || !is_table(n.id) {
+            continue;
+        }
+        let p = &preds[n.id.index()];
+        let head = g.root() == Some(n.id)
+            || is_switch(n.id)
+            || p.len() != 1
+            || p.iter().any(|&pid| !is_table(pid) || is_switch(pid));
+        if head {
+            heads.push(n.id);
+        }
+    }
+    heads.sort();
+
+    let mut pipelets = Vec::new();
+    for head in heads {
+        if is_switch(head) {
+            pipelets.push(Pipelet {
+                id: pipelets.len(),
+                tables: vec![head],
+                exit: None,
+                switch_case: true,
+            });
+            continue;
+        }
+        // Walk the chain.
+        let mut chain = vec![head];
+        let mut exit = next_always(g, head);
+        while let Some(nid) = exit {
+            if !is_table(nid) || is_switch(nid) || preds[nid.index()].len() != 1 {
+                break;
+            }
+            chain.push(nid);
+            exit = next_always(g, nid);
+        }
+        // Split long chains into max_len segments.
+        let mut idx = 0;
+        while idx < chain.len() {
+            let end = (idx + max_len).min(chain.len());
+            let seg_exit = if end < chain.len() {
+                Some(chain[end])
+            } else {
+                exit
+            };
+            pipelets.push(Pipelet {
+                id: pipelets.len(),
+                tables: chain[idx..end].to_vec(),
+                exit: seg_exit,
+                switch_case: false,
+            });
+            idx = end;
+        }
+    }
+    pipelets
+}
+
+fn next_always(g: &ProgramGraph, id: NodeId) -> Option<NodeId> {
+    match g.node(id)?.next {
+        pipeleon_ir::NextHops::Always(t) => t,
+        _ => None,
+    }
+}
+
+/// Detects pipelet groups: a branch whose two arms (each either a single
+/// pipelet or a direct bypass) reconverge at a common node.
+pub fn find_groups(g: &ProgramGraph, pipelets: &[Pipelet]) -> Vec<PipeletGroup> {
+    let entry_of: std::collections::HashMap<NodeId, usize> = pipelets
+        .iter()
+        .filter(|p| !p.switch_case)
+        .map(|p| (p.entry(), p.id))
+        .collect();
+    let mut groups = Vec::new();
+    for n in g.iter_nodes() {
+        let (on_true, on_false) = match n.next {
+            pipeleon_ir::NextHops::Branch { on_true, on_false } => (on_true, on_false),
+            _ => continue,
+        };
+        // Each arm admits up to two interpretations: it enters a member
+        // pipelet (whose exit is the pipelet's exit), or it bypasses
+        // straight to the join. Pick the member-richest combination whose
+        // exits agree.
+        let interpretations = |arm: Option<NodeId>| -> Vec<(Option<usize>, Option<NodeId>)> {
+            let mut v = Vec::with_capacity(2);
+            if let Some(pid) = arm.and_then(|a| entry_of.get(&a).copied()) {
+                v.push((Some(pid), pipelets[pid].exit));
+            }
+            v.push((None, arm));
+            v
+        };
+        let mut best: Option<PipeletGroup> = None;
+        for (m1, e1) in interpretations(on_true) {
+            for (m2, e2) in interpretations(on_false) {
+                if e1 != e2 {
+                    continue;
+                }
+                let members: Vec<usize> = m1.into_iter().chain(m2).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let better = best
+                    .as_ref()
+                    .map(|b| members.len() > b.members.len())
+                    .unwrap_or(true);
+                if better {
+                    best = Some(PipeletGroup {
+                        branch: n.id,
+                        members,
+                        exit: e1,
+                    });
+                }
+            }
+        }
+        if let Some(g) = best {
+            groups.push(g);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::{Condition, MatchKind, ProgramBuilder};
+
+    fn table(b: &mut ProgramBuilder, name: &str) -> NodeId {
+        let f = b.field("x");
+        b.table(name).key(f, MatchKind::Exact).finish()
+    }
+
+    #[test]
+    fn linear_program_is_one_pipelet() {
+        let mut b = ProgramBuilder::new();
+        let ids: Vec<_> = (0..4).map(|i| table(&mut b, &format!("t{i}"))).collect();
+        let g = b.seal(ids[0]).unwrap();
+        let ps = partition(&g, 10);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].tables, ids);
+        assert_eq!(ps[0].exit, None);
+    }
+
+    #[test]
+    fn long_pipelets_are_split() {
+        let mut b = ProgramBuilder::new();
+        let ids: Vec<_> = (0..7).map(|i| table(&mut b, &format!("t{i}"))).collect();
+        let g = b.seal(ids[0]).unwrap();
+        let ps = partition(&g, 3);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].tables.len(), 3);
+        assert_eq!(ps[0].exit, Some(ids[3]));
+        assert_eq!(ps[1].tables.len(), 3);
+        assert_eq!(ps[2].tables.len(), 1);
+        assert_eq!(ps[2].exit, None);
+    }
+
+    #[test]
+    fn branches_cut_pipelets() {
+        // head -> branch -> {a1 a2 | b1} -> join (common table) -> sink
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let join = table(&mut b, "join");
+        b.set_next(join, None);
+        let a1 = table(&mut b, "a1");
+        let a2 = table(&mut b, "a2");
+        b.set_next(a1, Some(a2));
+        b.set_next(a2, Some(join));
+        let b1 = table(&mut b, "b1");
+        b.set_next(b1, Some(join));
+        let br = b.branch("br", Condition::eq(f, 1), Some(a1), Some(b1));
+        let head = table(&mut b, "head");
+        b.set_next(head, Some(br));
+        let g = b.seal(head).unwrap();
+        let ps = partition(&g, 10);
+        // Pipelets: [head], [a1,a2], [b1], [join].
+        assert_eq!(ps.len(), 4);
+        let by_entry: std::collections::HashMap<_, _> = ps.iter().map(|p| (p.entry(), p)).collect();
+        assert_eq!(by_entry[&head].tables, vec![head]);
+        assert_eq!(by_entry[&head].exit, Some(br));
+        assert_eq!(by_entry[&a1].tables, vec![a1, a2]);
+        assert_eq!(by_entry[&a1].exit, Some(join));
+        assert_eq!(by_entry[&b1].tables, vec![b1]);
+        // join has two predecessors -> its own pipelet.
+        assert_eq!(by_entry[&join].tables, vec![join]);
+    }
+
+    #[test]
+    fn switch_case_is_lone_pipelet() {
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let t1 = table(&mut b, "after");
+        b.set_next(t1, None);
+        let sw = b
+            .table("sw")
+            .key(f, MatchKind::Exact)
+            .action_nop("a0")
+            .action_nop("a1")
+            .by_action(vec![Some(t1), None])
+            .finish();
+        let head = table(&mut b, "head");
+        b.set_next(head, Some(sw));
+        let g = b.seal(head).unwrap();
+        let ps = partition(&g, 10);
+        assert_eq!(ps.len(), 3);
+        let sw_p = ps.iter().find(|p| p.entry() == sw).unwrap();
+        assert!(sw_p.switch_case);
+        assert_eq!(sw_p.tables.len(), 1);
+        // head's chain must not absorb the switch-case.
+        let head_p = ps.iter().find(|p| p.entry() == head).unwrap();
+        assert_eq!(head_p.tables, vec![head]);
+    }
+
+    #[test]
+    fn groups_detect_diamonds() {
+        // branch -> {left(1 table) | right(1 table)} -> join table.
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let join = table(&mut b, "join");
+        b.set_next(join, None);
+        let l = table(&mut b, "l");
+        b.set_next(l, Some(join));
+        let r = table(&mut b, "r");
+        b.set_next(r, Some(join));
+        let br = b.branch("br", Condition::eq(f, 0), Some(l), Some(r));
+        let g = b.seal(br).unwrap();
+        let ps = partition(&g, 10);
+        let groups = find_groups(&g, &ps);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].branch, br);
+        assert_eq!(groups[0].members.len(), 2);
+        assert_eq!(groups[0].exit, Some(join));
+    }
+
+    #[test]
+    fn no_group_when_arms_diverge() {
+        // l exits to the sink; the r chain exits to a second branch.
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let l = table(&mut b, "l");
+        b.set_next(l, None);
+        let t1 = table(&mut b, "t1");
+        b.set_next(t1, None);
+        let t2 = table(&mut b, "t2");
+        b.set_next(t2, None);
+        let br2 = b.branch("br2", Condition::eq(f, 5), Some(t1), Some(t2));
+        let r1 = table(&mut b, "r1");
+        let r2 = table(&mut b, "r2");
+        b.set_next(r1, Some(r2));
+        b.set_next(r2, Some(br2));
+        let br = b.branch("br", Condition::eq(f, 0), Some(l), Some(r1));
+        let g = b.seal(br).unwrap();
+        let ps = partition(&g, 10);
+        let groups = find_groups(&g, &ps);
+        // No combination of the outer branch's arms shares an exit; the
+        // inner branch's diamond (t1 | t2 -> sink) does group.
+        assert!(groups.iter().all(|gr| gr.branch != br), "{groups:?}");
+    }
+
+    #[test]
+    fn bypass_arm_still_groups() {
+        // branch -> {pipelet | direct-to-join} -> join.
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let join = table(&mut b, "join");
+        b.set_next(join, None);
+        let l = table(&mut b, "l");
+        b.set_next(l, Some(join));
+        let br = b.branch("br", Condition::eq(f, 0), Some(l), Some(join));
+        let g = b.seal(br).unwrap();
+        let ps = partition(&g, 10);
+        let groups = find_groups(&g, &ps);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 1);
+        assert_eq!(groups[0].exit, Some(join));
+    }
+}

@@ -1,0 +1,351 @@
+//! Cost-model calibration from black-box measurements (paper §3.1).
+//!
+//! The paper fits `L_mat` and `L_act` by benchmarking families of programs
+//! with varying numbers of exact tables and action primitives, measuring
+//! maximum throughput, using its reciprocal as average latency, and
+//! extrapolating with linear regression (`Y1 = A1·x + B1`,
+//! `Y2 = A2·y + B2`). The `m` multiplier of LPM/ternary tables is then
+//! estimated by normalizing their observed per-table slope against the
+//! exact-match baseline.
+//!
+//! [`Calibrator`] reproduces that workflow against any measurement
+//! function (in this repo: the `pipeleon-sim` emulator standing in for
+//! hardware).
+
+use crate::params::{CostParams, MatchCostModel};
+use pipeleon_ir::{MatchKind, MatchValue, Primitive, ProgramBuilder, ProgramGraph, TableEntry};
+
+/// Ordinary least-squares fit of `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Least-squares line fit. Panics if fewer than two points are provided.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert!(xs.len() == ys.len() && xs.len() >= 2, "need >= 2 points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    LineFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// The outcome of a calibration run: fitted constants plus the raw fits.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// Fitted `L_mat` (per-exact-match latency).
+    pub l_mat: f64,
+    /// Fitted `L_act` (per-primitive latency).
+    pub l_act: f64,
+    /// Estimated `m` multiplier of the LPM benchmark tables.
+    pub m_lpm: f64,
+    /// Estimated `m` multiplier of the ternary benchmark tables.
+    pub m_ternary: f64,
+    /// Fit of latency vs. number of exact tables.
+    pub exact_fit: LineFit,
+    /// Fit of latency vs. number of action primitives.
+    pub action_fit: LineFit,
+    /// Number of benchmark programs measured.
+    pub programs_measured: usize,
+}
+
+impl CalibrationReport {
+    /// Converts the report into usable [`CostParams`], inheriting envelope
+    /// parameters (core counts, line rate, …) from `base`.
+    pub fn to_params(&self, base: &CostParams) -> CostParams {
+        let mut p = base.clone();
+        p.name = format!("{}-calibrated", base.name);
+        p.l_mat = self.l_mat;
+        p.l_act = self.l_act;
+        p.l_base = self.exact_fit.intercept.max(0.0);
+        p.match_model = MatchCostModel::Fixed {
+            lpm: self.m_lpm,
+            ternary: self.m_ternary,
+            range: self.m_ternary,
+        };
+        p
+    }
+}
+
+/// Generates the §3.1 benchmarking suite and fits the model against a
+/// measurement function returning the average per-packet latency of a
+/// program (in the same units the resulting parameters should use —
+/// typically the reciprocal of measured throughput, rescaled).
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    /// Table counts for the exact-table sweep (x axis of Fig. 5a).
+    pub exact_counts: Vec<usize>,
+    /// Primitive counts for the action sweep (x axis of Fig. 5b).
+    pub action_counts: Vec<usize>,
+    /// Table counts for the LPM/ternary sweeps (Fig. 5c–d).
+    pub pattern_counts: Vec<usize>,
+    /// Distinct prefix lengths installed in LPM benchmark tables (the
+    /// paper uses 3).
+    pub lpm_prefixes: usize,
+    /// Distinct masks installed in ternary benchmark tables (the paper
+    /// uses 5).
+    pub ternary_masks: usize,
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Self {
+            exact_counts: vec![5, 10, 15, 20, 25, 30, 35, 40],
+            action_counts: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            pattern_counts: vec![10, 12, 14, 16],
+            lpm_prefixes: 3,
+            ternary_masks: 5,
+        }
+    }
+}
+
+impl Calibrator {
+    /// A program of `n` exact tables, each with `prims` primitives per
+    /// action and one installed entry.
+    pub fn exact_program(&self, n: usize, prims: usize) -> ProgramGraph {
+        let mut b = ProgramBuilder::named(format!("cal_exact_{n}x{prims}"));
+        let f = b.field("key");
+        let mut first = None;
+        for i in 0..n {
+            let t = b
+                .table(format!("t{i}"))
+                .key(f, MatchKind::Exact)
+                .action(
+                    "hit",
+                    (0..prims).map(|_| Primitive::Nop).collect::<Vec<_>>(),
+                )
+                .entry(TableEntry::new(vec![MatchValue::Exact(i as u64)], 0))
+                .finish();
+            first.get_or_insert(t);
+        }
+        b.seal(first.expect("n >= 1")).expect("valid program")
+    }
+
+    /// A program of `n` LPM tables with `self.lpm_prefixes` distinct
+    /// prefix lengths each.
+    pub fn lpm_program(&self, n: usize) -> ProgramGraph {
+        let mut b = ProgramBuilder::named(format!("cal_lpm_{n}"));
+        let f = b.field("key");
+        let mut first = None;
+        for i in 0..n {
+            let mut tb = b
+                .table(format!("t{i}"))
+                .key(f, MatchKind::Lpm)
+                .action("hit", vec![Primitive::Nop]);
+            for p in 0..self.lpm_prefixes {
+                tb = tb.entry(TableEntry::new(
+                    vec![MatchValue::Lpm {
+                        value: (p as u64) << 48,
+                        prefix_len: 8 + 8 * p as u8,
+                    }],
+                    0,
+                ));
+            }
+            let t = tb.finish();
+            first.get_or_insert(t);
+        }
+        b.seal(first.expect("n >= 1")).expect("valid program")
+    }
+
+    /// A program of `n` ternary tables with `self.ternary_masks` distinct
+    /// masks each.
+    pub fn ternary_program(&self, n: usize) -> ProgramGraph {
+        let mut b = ProgramBuilder::named(format!("cal_ternary_{n}"));
+        let f = b.field("key");
+        let mut first = None;
+        for i in 0..n {
+            let mut tb = b
+                .table(format!("t{i}"))
+                .key(f, MatchKind::Ternary)
+                .action("hit", vec![Primitive::Nop]);
+            for m in 0..self.ternary_masks {
+                tb = tb.entry(TableEntry::with_priority(
+                    vec![MatchValue::Ternary {
+                        value: m as u64,
+                        mask: 0xFF << (8 * m),
+                    }],
+                    0,
+                    m as i32,
+                ));
+            }
+            let t = tb.finish();
+            first.get_or_insert(t);
+        }
+        b.seal(first.expect("n >= 1")).expect("valid program")
+    }
+
+    /// Runs the full calibration against `measure`.
+    ///
+    /// `measure` is called once per benchmark program and must return its
+    /// average per-packet latency. The suite size is
+    /// `exact_counts + action_counts + 2·pattern_counts` programs.
+    pub fn run<F>(&self, mut measure: F) -> CalibrationReport
+    where
+        F: FnMut(&ProgramGraph) -> f64,
+    {
+        let mut programs_measured = 0;
+        // Sweep 1: latency vs number of exact tables (1 primitive each).
+        let xs: Vec<f64> = self.exact_counts.iter().map(|&n| n as f64).collect();
+        let ys: Vec<f64> = self
+            .exact_counts
+            .iter()
+            .map(|&n| {
+                programs_measured += 1;
+                measure(&self.exact_program(n, 1))
+            })
+            .collect();
+        let exact_fit = fit_line(&xs, &ys);
+
+        // Sweep 2: latency vs primitives in a fixed 20-table program.
+        let base_tables = 20;
+        let xs2: Vec<f64> = self.action_counts.iter().map(|&n| n as f64).collect();
+        let ys2: Vec<f64> = self
+            .action_counts
+            .iter()
+            .map(|&n| {
+                programs_measured += 1;
+                measure(&self.exact_program(base_tables, n))
+            })
+            .collect();
+        let action_fit_raw = fit_line(&xs2, &ys2);
+        // Slope is (per-primitive latency) × base_tables.
+        let l_act = action_fit_raw.slope / base_tables as f64;
+
+        // The exact-table slope includes one primitive per table.
+        let l_mat = (exact_fit.slope - l_act).max(1e-9);
+
+        // Sweeps 3 & 4: LPM / ternary per-table slopes, normalized by the
+        // exact baseline slope to estimate m.
+        let xs3: Vec<f64> = self.pattern_counts.iter().map(|&n| n as f64).collect();
+        let ys_lpm: Vec<f64> = self
+            .pattern_counts
+            .iter()
+            .map(|&n| {
+                programs_measured += 1;
+                measure(&self.lpm_program(n))
+            })
+            .collect();
+        let ys_tern: Vec<f64> = self
+            .pattern_counts
+            .iter()
+            .map(|&n| {
+                programs_measured += 1;
+                measure(&self.ternary_program(n))
+            })
+            .collect();
+        let lpm_fit = fit_line(&xs3, &ys_lpm);
+        let tern_fit = fit_line(&xs3, &ys_tern);
+        let m_lpm = ((lpm_fit.slope - l_act) / l_mat).max(1.0);
+        let m_ternary = ((tern_fit.slope - l_act) / l_mat).max(1.0);
+
+        CalibrationReport {
+            l_mat,
+            l_act,
+            m_lpm,
+            m_ternary,
+            exact_fit,
+            action_fit: action_fit_raw,
+            programs_measured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CostModel;
+    use crate::profile::RuntimeProfile;
+
+    #[test]
+    fn fit_line_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 7.0, 9.0, 11.0];
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_line_handles_noise_with_r2_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let f = fit_line(&xs, &ys);
+        assert!(f.r2 > 0.98 && f.r2 < 1.0);
+        assert!((f.slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need >= 2 points")]
+    fn fit_line_rejects_single_point() {
+        fit_line(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn calibration_recovers_known_model() {
+        // Measure with the cost model itself: the calibrator must recover
+        // its constants (closing the loop of §3.1).
+        let mut truth = CostParams::emulated_nic();
+        truth.l_mat = 25.0;
+        truth.l_act = 6.0;
+        truth.l_base = 100.0;
+        truth.match_model = MatchCostModel::Fixed {
+            lpm: 3.0,
+            ternary: 5.0,
+            range: 5.0,
+        };
+        let model = CostModel::new(truth.clone());
+        let profile = RuntimeProfile::empty();
+        let cal = Calibrator::default();
+        let report = cal.run(|g| model.expected_latency(g, &profile));
+        assert!(
+            (report.l_mat - 25.0).abs() < 0.5,
+            "l_mat = {}",
+            report.l_mat
+        );
+        assert!((report.l_act - 6.0).abs() < 0.2, "l_act = {}", report.l_act);
+        assert!((report.m_lpm - 3.0).abs() < 0.2, "m_lpm = {}", report.m_lpm);
+        assert!(
+            (report.m_ternary - 5.0).abs() < 0.3,
+            "m_ternary = {}",
+            report.m_ternary
+        );
+        assert!(report.exact_fit.r2 > 0.999);
+        assert_eq!(report.programs_measured, 8 + 8 + 4 + 4);
+
+        let fitted = report.to_params(&truth);
+        assert!((fitted.l_base - 100.0).abs() < 1.0);
+    }
+}

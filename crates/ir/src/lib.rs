@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # pipeleon-ir — P4 program intermediate representation
+//!
+//! This crate defines the graph-based IR that the Pipeleon optimizer
+//! (SIGCOMM'23) operates on. A P4 program is modeled as a directed acyclic
+//! graph whose nodes are match/action (MA) tables or conditional branches and
+//! whose edges represent packet dataflow (paper §3.1, Figure 4). Every packet
+//! traverses exactly one root-to-sink path, reflecting the run-to-completion
+//! processing model of multicore SmartNICs.
+//!
+//! The crate provides:
+//!
+//! * [`table`] — MA tables: match keys, [`MatchKind`]s (exact / LPM /
+//!   ternary / range), actions built from primitive operations, and concrete
+//!   table entries.
+//! * [`expr`] — branch condition expressions over packet fields.
+//! * [`graph`] — the [`ProgramGraph`] DAG itself: nodes, typed next-hop
+//!   edges, validation, traversal, and path enumeration.
+//! * [`builder`] — an ergonomic [`ProgramBuilder`] for constructing programs
+//!   in tests, examples, and workload synthesizers.
+//! * [`deps`] — field-level read/write dependency analysis used to decide
+//!   which transformations (reordering, merging) preserve program semantics.
+//! * [`json`] — (de)serialization to a BMv2-style JSON format, mirroring the
+//!   paper's use of the P4 compiler's `.json` intermediate representation as
+//!   the source-to-source interface.
+//!
+//! Fields are interned per program in a [`FieldSpace`]; packets in the
+//! simulator are then plain `Vec<u64>` slots indexed by [`FieldRef`], which
+//! keeps the hot path allocation-free.
+//!
+//! ```
+//! use pipeleon_ir::{ProgramBuilder, MatchKind, Primitive};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let ipv4_dst = b.field("ipv4.dst");
+//! let routing = b
+//!     .table("routing")
+//!     .key(ipv4_dst, MatchKind::Lpm)
+//!     .action("set_nexthop", vec![Primitive::set(ipv4_dst, 1)])
+//!     .action_drop("drop")
+//!     .finish();
+//! let program = b.seal(routing).unwrap();
+//! assert_eq!(program.tables().count(), 1);
+//! ```
+
+pub mod builder;
+pub mod deps;
+pub mod expr;
+pub mod graph;
+pub mod json;
+pub mod table;
+pub mod types;
+
+pub use builder::{ProgramBuilder, TableBuilder};
+pub use deps::{DependencyAnalysis, RwSets};
+pub use expr::{CmpOp, Condition};
+pub use graph::{Branch, EdgeRef, NextHops, Node, NodeKind, ProgramGraph};
+pub use json::{from_json, to_json};
+pub use table::{
+    prefix_mask, Action, CacheRole, MatchKey, MatchKind, MatchValue, Primitive, Table, TableEntry,
+};
+pub use types::{EntryId, FieldRef, FieldSpace, IrError, NodeId};

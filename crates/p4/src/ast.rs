@@ -1,0 +1,194 @@
+//! Abstract syntax tree for P4-lite.
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name from the `program` declaration.
+    pub name: String,
+    /// Declared header fields, in order.
+    pub fields: Vec<String>,
+    /// Action definitions.
+    pub actions: Vec<ActionDef>,
+    /// Table definitions.
+    pub tables: Vec<TableDef>,
+    /// The control block's statement list.
+    pub control: Vec<Stmt>,
+}
+
+/// An action definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionDef {
+    /// Action name (global namespace).
+    pub name: String,
+    /// Primitive statements in order.
+    pub primitives: Vec<PrimStmt>,
+}
+
+/// One primitive statement inside an action body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimStmt {
+    /// `field = value;`
+    Set {
+        /// Destination field name.
+        field: String,
+        /// Constant value.
+        value: u64,
+    },
+    /// `field = field + delta;` (the two field names must match)
+    Add {
+        /// Destination (and source) field.
+        field: String,
+        /// Constant delta.
+        delta: u64,
+    },
+    /// `field = field - delta;`
+    Sub {
+        /// Destination (and source) field.
+        field: String,
+        /// Constant delta.
+        delta: u64,
+    },
+    /// `dst = src;`
+    Copy {
+        /// Destination field.
+        dst: String,
+        /// Source field.
+        src: String,
+    },
+    /// `drop;`
+    Drop,
+    /// `fwd(port);`
+    Forward(u32),
+    /// `nop;`
+    Nop,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Table name (global namespace, shared with branches).
+    pub name: String,
+    /// `(field, kind)` key components.
+    pub keys: Vec<(String, KeyKind)>,
+    /// Referenced action names, in order.
+    pub actions: Vec<String>,
+    /// Default action name (must be in `actions`).
+    pub default_action: Option<String>,
+    /// Optional capacity.
+    pub size: Option<u64>,
+    /// Const entries.
+    pub entries: Vec<EntryDef>,
+    /// Source line of the `table` keyword, for error messages.
+    pub line: usize,
+}
+
+/// Key match kind keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// `exact`
+    Exact,
+    /// `lpm`
+    Lpm,
+    /// `ternary`
+    Ternary,
+    /// `range`
+    Range,
+}
+
+/// One const entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryDef {
+    /// Per-key values.
+    pub keys: Vec<KeyValue>,
+    /// Action name to run.
+    pub action: String,
+    /// Priority (after `@`), default 0.
+    pub priority: i32,
+}
+
+/// A key value literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyValue {
+    /// `42` / `0x2A`
+    Exact(u64),
+    /// `value/prefix_len`
+    Lpm(u64, u8),
+    /// `value &&& mask`
+    Ternary(u64, u64),
+    /// `lo..hi` (inclusive)
+    Range(u64, u64),
+    /// `_` (wildcard; ternary mask 0)
+    Any,
+}
+
+/// A control statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `table_name;` — apply the table and continue.
+    Apply(String),
+    /// `exit;` — leave the pipeline.
+    Exit,
+    /// `if (cond) { … } else { … }`
+    If {
+        /// The branch condition.
+        cond: Cond,
+        /// True-arm statements.
+        then_block: Vec<Stmt>,
+        /// False-arm statements (empty = fall through).
+        else_block: Vec<Stmt>,
+    },
+    /// `switch (table) { action: { … } … }` — apply the table, then
+    /// branch on which action ran. Actions not listed fall through.
+    Switch {
+        /// The switch-case table.
+        table: String,
+        /// `(action name, arm statements)` pairs.
+        arms: Vec<(String, Vec<Stmt>)>,
+    },
+}
+
+/// A branch condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `field <op> constant`
+    Compare {
+        /// Left-hand field name.
+        field: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: u64,
+    },
+    /// `field <op> field`
+    CompareFields {
+        /// Left-hand field name.
+        lhs: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand field name.
+        rhs: String,
+    },
+    /// `a && b`
+    And(Box<Cond>, Box<Cond>),
+    /// `a || b`
+    Or(Box<Cond>, Box<Cond>),
+    /// `!a`
+    Not(Box<Cond>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}

@@ -1,0 +1,379 @@
+//! Tokenizer for P4-lite.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier, possibly dotted (`ipv4.dst`).
+    Ident(String),
+    /// Unsigned number literal (decimal or `0x…`).
+    Number(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `@`
+    At,
+    /// `_`
+    Underscore,
+    /// `&&&` (ternary mask)
+    MaskSep,
+    /// `/` (LPM prefix length)
+    Slash,
+    /// `..` (range)
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Comma => write!(f, ","),
+            Token::Assign => write!(f, "="),
+            Token::At => write!(f, "@"),
+            Token::Underscore => write!(f, "_"),
+            Token::MaskSep => write!(f, "&&&"),
+            Token::Slash => write!(f, "/"),
+            Token::DotDot => write!(f, ".."),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// A token with its 1-based source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Source line the token starts on.
+    pub line: usize,
+}
+
+/// Tokenizes P4-lite source. `//` line comments and `/* … */` block
+/// comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(format!("line {line}: unterminated block comment"));
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '{' => push(&mut out, Token::LBrace, line, &mut i),
+            '}' => push(&mut out, Token::RBrace, line, &mut i),
+            '(' => push(&mut out, Token::LParen, line, &mut i),
+            ')' => push(&mut out, Token::RParen, line, &mut i),
+            ';' => push(&mut out, Token::Semi, line, &mut i),
+            ':' => push(&mut out, Token::Colon, line, &mut i),
+            ',' => push(&mut out, Token::Comma, line, &mut i),
+            '@' => push(&mut out, Token::At, line, &mut i),
+            '+' => push(&mut out, Token::Plus, line, &mut i),
+            '-' => push(&mut out, Token::Minus, line, &mut i),
+            '/' => push(&mut out, Token::Slash, line, &mut i),
+            '&' => {
+                if i + 2 < n && bytes[i + 1] == '&' && bytes[i + 2] == '&' {
+                    out.push(Spanned {
+                        token: Token::MaskSep,
+                        line,
+                    });
+                    i += 3;
+                } else if i + 1 < n && bytes[i + 1] == '&' {
+                    out.push(Spanned {
+                        token: Token::AndAnd,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(format!("line {line}: stray '&'"));
+                }
+            }
+            '|' if i + 1 < n && bytes[i + 1] == '|' => {
+                out.push(Spanned {
+                    token: Token::OrOr,
+                    line,
+                });
+                i += 2;
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Eq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Assign, line, &mut i);
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Bang, line, &mut i);
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Le,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Lt, line, &mut i);
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Gt, line, &mut i);
+                }
+            }
+            '.' => {
+                if i + 1 < n && bytes[i + 1] == '.' {
+                    out.push(Spanned {
+                        token: Token::DotDot,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(format!("line {line}: stray '.'"));
+                }
+            }
+            '_' if !next_is_ident_char(&bytes, i + 1) => {
+                push(&mut out, Token::Underscore, line, &mut i)
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                if c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                    i += 2;
+                    while i < n && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start + 2..i].iter().collect();
+                    let v = u64::from_str_radix(&text, 16)
+                        .map_err(|_| format!("line {line}: bad hex literal"))?;
+                    out.push(Spanned {
+                        token: Token::Number(v),
+                        line,
+                    });
+                } else {
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let v: u64 = text
+                        .parse()
+                        .map_err(|_| format!("line {line}: bad number literal"))?;
+                    out.push(Spanned {
+                        token: Token::Number(v),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    // A ".." inside an identifier is the range operator.
+                    if bytes[i] == '.' && i + 1 < n && bytes[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Spanned {
+                    token: Token::Ident(text),
+                    line,
+                });
+            }
+            other => return Err(format!("line {line}: unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Spanned>, token: Token, line: usize, i: &mut usize) {
+    out.push(Spanned { token, line });
+    *i += 1;
+}
+
+fn next_is_ident_char(bytes: &[char], i: usize) -> bool {
+    bytes
+        .get(i)
+        .map(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_symbols() {
+        assert_eq!(
+            toks("table acl { key = 0x1F; }"),
+            vec![
+                Token::Ident("table".into()),
+                Token::Ident("acl".into()),
+                Token::LBrace,
+                Token::Ident("key".into()),
+                Token::Assign,
+                Token::Number(31),
+                Token::Semi,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_dotted_fields_and_range() {
+        assert_eq!(
+            toks("ipv4.dst 1..5"),
+            vec![
+                Token::Ident("ipv4.dst".into()),
+                Token::Number(1),
+                Token::DotDot,
+                Token::Number(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("== != <= >= < > && || ! &&& / @ _"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Bang,
+                Token::MaskSep,
+                Token::Slash,
+                Token::At,
+                Token::Underscore,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let ts = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn underscore_ident_vs_wildcard() {
+        assert_eq!(
+            toks("_ _x"),
+            vec![Token::Underscore, Token::Ident("_x".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("€").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Profile-change detection.
+//!
+//! The controller re-optimizes when the runtime profile drifts
+//! (§2.3: "Pipeleon constantly monitors the profile; when it varies, a new
+//! round of optimization will be triggered"). Distance is measured over
+//! the quantities the optimizer actually consumes: per-table action
+//! distributions (hence drop rates), branch splits, and entry-update
+//! rates.
+
+use pipeleon_cost::RuntimeProfile;
+use pipeleon_ir::{NodeKind, ProgramGraph};
+
+/// A distance in `[0, ∞)` between two profiles over the same program;
+/// 0 = identical distributions.
+///
+/// The distance is the *maximum* per-node change — total-variation
+/// distance of a node's outgoing distribution, or its update-rate delta
+/// (normalized so 100 ops/s ≈ 1.0) — so a large shift localized to one
+/// branch or table (a tenant migration, an ACL drop-rate flip) is not
+/// diluted by the rest of the program staying stable.
+pub fn profile_distance(g: &ProgramGraph, a: &RuntimeProfile, b: &RuntimeProfile) -> f64 {
+    let mut max_change: f64 = 0.0;
+    for n in g.iter_nodes() {
+        let (da, db) = match n.kind {
+            NodeKind::Table(_) => (a.action_probs(g, n.id), b.action_probs(g, n.id)),
+            NodeKind::Branch(_) => (a.slot_probs(g, n.id), b.slot_probs(g, n.id)),
+        };
+        if !da.is_empty() && !db.is_empty() {
+            let l1: f64 = da.iter().zip(db.iter()).map(|(x, y)| (x - y).abs()).sum();
+            max_change = max_change.max(l1 / 2.0);
+        }
+        // Update-rate drift, normalized so 100 ops/s of change ≈ 1.0.
+        let (ra, rb) = (a.entry_update_rate(n.id), b.entry_update_rate(n.id));
+        max_change = max_change.max((ra - rb).abs() / 100.0);
+    }
+    max_change
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::{MatchKind, ProgramBuilder};
+
+    fn acl_graph() -> (ProgramGraph, pipeleon_ir::NodeId) {
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let acl = b
+            .table("acl")
+            .key(f, MatchKind::Exact)
+            .action_nop("permit")
+            .action_drop("deny")
+            .finish();
+        (b.seal(acl).unwrap(), acl)
+    }
+
+    #[test]
+    fn identical_profiles_have_zero_distance() {
+        let (g, acl) = acl_graph();
+        let mut p = RuntimeProfile::empty();
+        p.record_action(acl, 0, 70);
+        p.record_action(acl, 1, 30);
+        assert_eq!(profile_distance(&g, &p, &p.clone()), 0.0);
+    }
+
+    #[test]
+    fn drop_rate_change_is_detected() {
+        let (g, acl) = acl_graph();
+        let mut a = RuntimeProfile::empty();
+        a.record_action(acl, 0, 90);
+        a.record_action(acl, 1, 10);
+        let mut b = RuntimeProfile::empty();
+        b.record_action(acl, 0, 10);
+        b.record_action(acl, 1, 90);
+        let d = profile_distance(&g, &a, &b);
+        assert!(d > 0.5, "d = {d}");
+    }
+
+    #[test]
+    fn update_rate_change_is_detected() {
+        let (g, acl) = acl_graph();
+        let a = RuntimeProfile::empty();
+        let mut b = RuntimeProfile::empty();
+        b.set_entry_update_rate(acl, 500.0);
+        let d = profile_distance(&g, &a, &b);
+        assert!(d > 1.0, "d = {d}");
+    }
+
+    #[test]
+    fn small_noise_is_small_distance() {
+        let (g, acl) = acl_graph();
+        let mut a = RuntimeProfile::empty();
+        a.record_action(acl, 0, 1000);
+        a.record_action(acl, 1, 10);
+        let mut b = RuntimeProfile::empty();
+        b.record_action(acl, 0, 995);
+        b.record_action(acl, 1, 12);
+        let d = profile_distance(&g, &a, &b);
+        assert!(d < 0.01, "d = {d}");
+    }
+}

@@ -1,0 +1,610 @@
+//! The runtime controller and entry-management API mapping.
+//!
+//! [`Controller::tick`] is one profiling window (§5.3.1 uses five-second
+//! windows): collect counters from the target, translate them back to the
+//! original program's space, detect drift, re-run the top-k search, and
+//! deploy the new layout when it pays. [`Controller::insert_entry`] /
+//! [`Controller::remove_entry`] implement the original-program
+//! control-plane API on top of the optimized layout (§2.3).
+
+use pipeleon::apply::{AppliedPlan, EntrySite};
+use pipeleon::config::ResourceLimits;
+use pipeleon::opts::{merge, EvalCtx};
+use pipeleon::search::{IncrementalState, Optimizer};
+use pipeleon_cost::RuntimeProfile;
+use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, TableEntry};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::change::profile_distance;
+use crate::target::Target;
+
+/// Controller tunables.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Resource limits handed to the optimizer.
+    pub limits: ResourceLimits,
+    /// Profile distance (see [`profile_distance`]) above which a re-
+    /// optimization is triggered.
+    pub change_threshold: f64,
+    /// Minimum estimated gain (ns/packet) before a new layout is deployed.
+    pub min_gain_ns: f64,
+    /// Re-optimize every tick regardless of drift (used by experiments
+    /// that sweep workloads).
+    pub always_reoptimize: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            limits: ResourceLimits::unlimited(),
+            change_threshold: 0.05,
+            min_gain_ns: 1.0,
+            always_reoptimize: false,
+        }
+    }
+}
+
+/// What one tick did.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// Distance between this window's profile and the previous one.
+    pub profile_change: f64,
+    /// Whether the optimizer ran.
+    pub reoptimized: bool,
+    /// Whether a new layout was deployed.
+    pub deployed: bool,
+    /// Estimated gain of the (possibly undeployed) best plan, ns/packet.
+    pub est_gain_ns: f64,
+    /// Search wall-clock time.
+    pub search_time: Duration,
+    /// Service interruption incurred by deployment (reload targets).
+    pub downtime_s: f64,
+    /// Human-readable steps of the deployed plan.
+    pub summary: Vec<String>,
+}
+
+/// The Pipeleon runtime: original program + optimizer + deployed target.
+#[derive(Debug)]
+pub struct Controller<T: Target> {
+    /// The deployment target.
+    pub target: T,
+    original: ProgramGraph,
+    optimizer: Optimizer,
+    cfg: ControllerConfig,
+    applied: Option<AppliedPlan>,
+    deployed_json: String,
+    last_profile: Option<RuntimeProfile>,
+    update_counts: HashMap<NodeId, u64>,
+    incremental: IncrementalState,
+    /// Measured hit rates of deployed caches, keyed by covered tables —
+    /// fed back into the optimizer's cache estimates (§3.2.2).
+    cache_hints: HashMap<Vec<NodeId>, f64>,
+    /// Number of reconfigurations performed.
+    pub reconfig_count: usize,
+}
+
+impl<T: Target> Controller<T> {
+    /// Creates a controller and deploys the original program.
+    pub fn new(
+        mut target: T,
+        original: ProgramGraph,
+        optimizer: Optimizer,
+        cfg: ControllerConfig,
+    ) -> Result<Self, IrError> {
+        original.validate()?;
+        target.deploy(original.clone())?;
+        let deployed_json = pipeleon_ir::json::to_json_string(&original).unwrap_or_default();
+        Ok(Self {
+            target,
+            original,
+            optimizer,
+            cfg,
+            applied: None,
+            deployed_json,
+            last_profile: None,
+            update_counts: HashMap::new(),
+            incremental: IncrementalState::new(),
+            cache_hints: HashMap::new(),
+            reconfig_count: 0,
+        })
+    }
+
+    /// The original (unoptimized) program — the API namespace operators
+    /// use.
+    pub fn original(&self) -> &ProgramGraph {
+        &self.original
+    }
+
+    /// The currently applied plan, if the deployed layout is optimized.
+    pub fn applied(&self) -> Option<&AppliedPlan> {
+        self.applied.as_ref()
+    }
+
+    /// One profiling window: collect → translate → detect → re-optimize →
+    /// deploy.
+    pub fn tick(&mut self) -> Result<TickReport, IrError> {
+        let raw = self.target.take_profile();
+        let window_s = raw.window_s.max(1e-9);
+        let mut profile = match &self.applied {
+            Some(a) => a.counter_map.translate(&raw),
+            None => raw,
+        };
+        // Fold in the control-plane update rates observed this window.
+        for (node, count) in self.update_counts.drain() {
+            profile.set_entry_update_rate(node, count as f64 / window_s);
+        }
+        profile.window_s = window_s;
+
+        // Cache-health feedback (§3.2.2): record the measured hit rate of
+        // every deployed cache against the original tables it covers, so
+        // the next search plans with reality instead of the default
+        // estimate.
+        if let Some(applied) = &self.applied {
+            for &cache in &applied.cache_nodes {
+                let Some(measured) = profile.cache_hit_rate(cache) else {
+                    continue;
+                };
+                let covered: Vec<NodeId> = applied
+                    .entry_map
+                    .tracked()
+                    .filter(|&t| {
+                        applied.entry_map.sites(t).iter().any(|s| {
+                            matches!(s,
+                                pipeleon::apply::EntrySite::CoveredByCache { cache: c }
+                                    if *c == cache)
+                        })
+                    })
+                    .collect();
+                if !covered.is_empty() {
+                    self.cache_hints.insert(
+                        {
+                            let mut k = covered;
+                            k.sort();
+                            k
+                        },
+                        measured,
+                    );
+                }
+            }
+        }
+        for (tables, &rate) in &self.cache_hints {
+            profile.set_cache_hint(tables.clone(), rate);
+        }
+
+        let profile_change = match &self.last_profile {
+            Some(prev) => profile_distance(&self.original, prev, &profile),
+            None => f64::INFINITY,
+        };
+        let mut report = TickReport {
+            profile_change,
+            reoptimized: false,
+            deployed: false,
+            est_gain_ns: 0.0,
+            search_time: Duration::ZERO,
+            downtime_s: 0.0,
+            summary: Vec::new(),
+        };
+        if self.cfg.always_reoptimize || profile_change >= self.cfg.change_threshold {
+            report.reoptimized = true;
+            // Incremental search (§6): pipelets whose local profile is
+            // unchanged reuse their candidate lists from the last tick.
+            let outcome = self.optimizer.optimize_incremental(
+                &self.original,
+                &profile,
+                self.cfg.limits,
+                &mut self.incremental,
+            )?;
+            report.est_gain_ns = outcome.est_gain_ns;
+            report.search_time = outcome.search_time;
+            let candidate_json =
+                pipeleon_ir::json::to_json_string(&outcome.applied.graph).unwrap_or_default();
+            let worth_it = outcome.est_gain_ns >= self.cfg.min_gain_ns
+                || (!self.deployed_json.is_empty()
+                    && outcome.plan.is_empty()
+                    && self.applied.is_some());
+            if worth_it && candidate_json != self.deployed_json {
+                self.target.deploy(outcome.applied.graph.clone())?;
+                for &cache in &outcome.applied.cache_nodes {
+                    self.target
+                        .set_cache_insertion_limit(cache, self.optimizer.cfg.cache_insertion_limit);
+                }
+                report.deployed = true;
+                report.downtime_s = self.target.reconfig_downtime_s();
+                report.summary = outcome.applied.summary.clone();
+                self.deployed_json = candidate_json;
+                self.applied = Some(outcome.applied);
+                self.reconfig_count += 1;
+            }
+        }
+        self.last_profile = Some(profile);
+        Ok(report)
+    }
+
+    /// Inserts an entry into original-program table `table`, routing the
+    /// operation to the optimized layout (direct insert, cache flush,
+    /// merged-table re-materialization).
+    pub fn insert_entry(&mut self, table: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        // Source of truth first.
+        {
+            let n = self
+                .original
+                .node_mut(table)
+                .ok_or(IrError::UnknownNode(table))?;
+            let t = n.as_table_mut().ok_or(IrError::BadTable {
+                table,
+                reason: "not a table".into(),
+            })?;
+            t.entries.push(entry.clone());
+            t.validate()
+                .map_err(|reason| IrError::BadEntry { table, reason })?;
+        }
+        *self.update_counts.entry(table).or_insert(0) += 1;
+        self.route_update(table, Some(entry), None)
+    }
+
+    /// Removes the entry at `index` from original-program table `table`.
+    pub fn remove_entry(&mut self, table: NodeId, index: usize) -> Result<(), IrError> {
+        {
+            let n = self
+                .original
+                .node_mut(table)
+                .ok_or(IrError::UnknownNode(table))?;
+            let t = n.as_table_mut().ok_or(IrError::BadTable {
+                table,
+                reason: "not a table".into(),
+            })?;
+            if index >= t.entries.len() {
+                return Err(IrError::BadEntry {
+                    table,
+                    reason: format!("no entry at index {index}"),
+                });
+            }
+            t.entries.remove(index);
+        }
+        *self.update_counts.entry(table).or_insert(0) += 1;
+        self.route_update(table, None, Some(index))
+    }
+
+    /// Applies one original-table update to every optimized site.
+    fn route_update(
+        &mut self,
+        table: NodeId,
+        insert: Option<TableEntry>,
+        remove_index: Option<usize>,
+    ) -> Result<(), IrError> {
+        let sites = match &self.applied {
+            Some(a) => a.entry_map.sites(table),
+            None => vec![EntrySite::Direct],
+        };
+        for site in sites {
+            match site {
+                EntrySite::Direct => {
+                    if let Some(e) = &insert {
+                        self.target.insert_entry(table, e.clone())?;
+                    }
+                    if let Some(i) = remove_index {
+                        self.target.remove_entry(table, i)?;
+                    }
+                }
+                EntrySite::CoveredByCache { cache } => {
+                    self.target.flush_cache(cache);
+                }
+                EntrySite::MergedInto {
+                    merged,
+                    components,
+                    as_cache,
+                    hit_exit,
+                } => {
+                    if self
+                        .rematerialize(merged, &components, as_cache, hit_exit)
+                        .is_err()
+                    {
+                        // The cross-product outgrew the merge budget —
+                        // §3.2.3: "Pipeleon will reverse the merge and
+                        // recompute the optimizations". Redeploy the
+                        // original program (which already contains the
+                        // update); the next tick re-optimizes.
+                        self.revert_to_original()?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abandons the optimized layout and redeploys the original program
+    /// (merge revert, §3.2.3).
+    pub fn revert_to_original(&mut self) -> Result<(), IrError> {
+        self.target.deploy(self.original.clone())?;
+        self.deployed_json = pipeleon_ir::json::to_json_string(&self.original).unwrap_or_default();
+        self.applied = None;
+        self.reconfig_count += 1;
+        Ok(())
+    }
+
+    /// Rebuilds a merged table from the original components' current
+    /// entries and pushes it to the target.
+    fn rematerialize(
+        &mut self,
+        merged: NodeId,
+        components: &[NodeId],
+        as_cache: bool,
+        hit_exit: Option<NodeId>,
+    ) -> Result<(), IrError> {
+        let profile = RuntimeProfile::empty();
+        let ctx = EvalCtx {
+            model: &self.optimizer.model,
+            cfg: &self.optimizer.cfg,
+            g: &self.original,
+            profile: &profile,
+            reach: 1.0,
+        };
+        let m = merge::materialize(&ctx, components, as_cache).map_err(IrError::Invalid)?;
+        let next = if as_cache {
+            let miss = m.miss_action;
+            Some(NextHops::ByAction(
+                (0..m.table.actions.len())
+                    .map(|i| {
+                        if i == miss {
+                            Some(components[0])
+                        } else {
+                            hit_exit
+                        }
+                    })
+                    .collect(),
+            ))
+        } else {
+            None
+        };
+        let action_map = m.action_map.clone();
+        self.target.replace_table(merged, m.table, next)?;
+        if let Some(a) = &mut self.applied {
+            a.counter_map.replace_mappings(merged, &action_map);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::SimTarget;
+    use pipeleon_cost::{CostModel, CostParams};
+    use pipeleon_ir::{MatchKind, MatchValue, ProgramBuilder};
+    use pipeleon_sim::{Packet, SmartNic};
+    use pipeleon_workloads::scenarios::{AclPipeline, ACL_DROP_VALUE};
+
+    fn controller_for(p: &AclPipeline, cfg: ControllerConfig) -> Controller<SimTarget> {
+        let nic = SmartNic::new(p.graph.clone(), CostParams::bluefield2()).unwrap();
+        let mut nic = nic;
+        nic.set_instrumentation(true, 1);
+        let optimizer = Optimizer::new(CostModel::new(CostParams::bluefield2()));
+        Controller::new(SimTarget::live(nic), p.graph.clone(), optimizer, cfg).unwrap()
+    }
+
+    #[test]
+    fn tick_reoptimizes_on_drop_rate_shift() {
+        let p = AclPipeline::build(3, 3);
+        let mut c = controller_for(&p, ControllerConfig::default());
+        // Window 1: last ACL drops heavily.
+        let mut gen = p.traffic(&[0.0, 0.0, 0.7], 500, 1);
+        c.target.nic.measure(gen.batch(4000));
+        let r1 = c.tick().unwrap();
+        assert!(r1.reoptimized);
+        assert!(r1.deployed, "expected a reorder deployment: {r1:?}");
+        // The heavy ACL should now run earlier than the other ACLs.
+        let deployed = c.target.nic.graph();
+        let order = deployed.topo_order().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(p.acls[2]) < pos(p.acls[0]));
+        // Window 2: same traffic -> no change, no redeploy.
+        let mut gen = p.traffic(&[0.0, 0.0, 0.7], 500, 2);
+        c.target.nic.measure(gen.batch(4000));
+        let r2 = c.tick().unwrap();
+        assert!(!r2.deployed, "{r2:?}");
+        // Window 3: drop shifts to the first ACL -> redeploy.
+        let mut gen = p.traffic(&[0.7, 0.0, 0.0], 500, 3);
+        c.target.nic.measure(gen.batch(4000));
+        let r3 = c.tick().unwrap();
+        assert!(r3.deployed, "{r3:?}");
+        let deployed = c.target.nic.graph();
+        let order = deployed.topo_order().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(p.acls[0]) < pos(p.acls[2]));
+        assert_eq!(c.reconfig_count, 2);
+    }
+
+    #[test]
+    fn entry_api_round_trips_through_optimized_layout() {
+        let p = AclPipeline::build(2, 2);
+        let mut c = controller_for(&p, ControllerConfig::default());
+        // Deploy an optimized layout first.
+        let mut gen = p.traffic(&[0.0, 0.6], 500, 1);
+        c.target.nic.measure(gen.batch(4000));
+        c.tick().unwrap();
+        // Insert a new deny rule into ACL0 via the original-program API.
+        let deny_value = 0x1234;
+        c.insert_entry(
+            p.acls[0],
+            pipeleon_ir::TableEntry::new(vec![MatchValue::Exact(deny_value)], 1),
+        )
+        .unwrap();
+        // A packet matching the new rule must now be dropped by the
+        // deployed (optimized) program.
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[0], deny_value);
+        let r = c.target.nic.process_one(&mut pkt);
+        assert!(r.dropped, "new entry must take effect on the target");
+        // And the original program records it too.
+        let orig_entries = &c
+            .original()
+            .node(p.acls[0])
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .entries;
+        assert_eq!(orig_entries.len(), 2); // preinstalled + new
+                                           // Removing it restores forwarding.
+        c.remove_entry(p.acls[0], 1).unwrap();
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[0], deny_value);
+        assert!(!c.target.nic.process_one(&mut pkt).dropped);
+    }
+
+    #[test]
+    fn drop_value_entry_survives_reorder() {
+        let p = AclPipeline::build(2, 3);
+        let mut c = controller_for(&p, ControllerConfig::default());
+        let mut gen = p.traffic(&[0.0, 0.0, 0.5], 300, 9);
+        c.target.nic.measure(gen.batch(3000));
+        c.tick().unwrap();
+        // The preinstalled ACL_DROP_VALUE rules still work post-reorder.
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[1], ACL_DROP_VALUE);
+        assert!(c.target.nic.process_one(&mut pkt).dropped);
+    }
+
+    #[test]
+    fn measured_cache_hit_rates_feed_back_into_planning() {
+        use pipeleon_ir::MatchKind;
+        // Four ternary tables; low-locality traffic makes a deployed
+        // cache's real hit rate collapse; after monitoring, the next plan
+        // must stop assuming the optimistic default.
+        let mut b = ProgramBuilder::new();
+        let mut ids = Vec::new();
+        let mut fields = Vec::new();
+        for i in 0..4 {
+            let f = b.field(&format!("k{i}"));
+            fields.push(f);
+            let mut tb = b
+                .table(format!("tern{i}"))
+                .key(f, MatchKind::Ternary)
+                .action("a", vec![pipeleon_ir::Primitive::Nop])
+                .action_nop("miss")
+                .default_action(1);
+            for m in 0..5u64 {
+                tb = tb.entry(TableEntry::with_priority(
+                    vec![MatchValue::Ternary {
+                        value: m,
+                        mask: 0xFF << (8 * m),
+                    }],
+                    0,
+                    m as i32,
+                ));
+            }
+            ids.push(tb.finish());
+        }
+        let g = b.seal(ids[0]).unwrap();
+        let params = CostParams::bluefield2();
+        let mut nic = SmartNic::new(g.clone(), params.clone()).unwrap();
+        nic.set_instrumentation(true, 1);
+        let mut c = Controller::new(
+            SimTarget::live(nic),
+            g.clone(),
+            Optimizer::new(CostModel::new(params)),
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        // Unique-key traffic: every packet is a new flow.
+        let run_traffic = |c: &mut Controller<SimTarget>, base: u64| {
+            for i in 0..6000u64 {
+                let mut pkt = Packet::new(&g.fields);
+                for (j, &f) in fields.iter().enumerate() {
+                    pkt.set(f, base + i * 4 + j as u64);
+                }
+                c.target.nic.process_one(&mut pkt);
+            }
+        };
+        run_traffic(&mut c, 0);
+        let r1 = c.tick().unwrap();
+        assert!(r1.deployed, "first plan should deploy caches: {r1:?}");
+        assert!(c
+            .applied()
+            .map(|a| !a.cache_nodes.is_empty())
+            .unwrap_or(false));
+        // Run traffic on the cached layout: nearly every lookup misses.
+        run_traffic(&mut c, 1_000_000);
+        let _r2 = c.tick().unwrap();
+        // The measured hint must now exist and be pessimistic.
+        let hint_is_low = c.cache_hints.values().any(|&h| h < 0.3);
+        assert!(
+            hint_is_low,
+            "expected a low measured hit rate: {:?}",
+            c.cache_hints
+        );
+    }
+
+    #[test]
+    fn merged_table_rematerializes_on_update() {
+        // Two small static exact tables that the optimizer merges as a
+        // cache; inserting into a component must re-materialize.
+        let mut b = ProgramBuilder::new();
+        let f0 = b.field("f0");
+        let f1 = b.field("f1");
+        let y = b.field("y");
+        let z = b.field("z");
+        let t0 = b
+            .table("t0")
+            .key(f0, MatchKind::Exact)
+            .action("set_y", vec![pipeleon_ir::Primitive::set(y, 1)])
+            .action_nop("miss")
+            .default_action(1)
+            .entry(TableEntry::new(vec![MatchValue::Exact(1)], 0))
+            .finish();
+        let _t1 = b
+            .table("t1")
+            .key(f1, MatchKind::Exact)
+            .action("set_z", vec![pipeleon_ir::Primitive::set(z, 2)])
+            .action_nop("miss")
+            .default_action(1)
+            .entry(TableEntry::new(vec![MatchValue::Exact(2)], 0))
+            .finish();
+        let g = b.seal(t0).unwrap();
+        let nic = SmartNic::new(g.clone(), CostParams::bluefield2()).unwrap();
+        let optimizer = Optimizer::new(CostModel::new(CostParams::bluefield2()));
+        let mut c = Controller::new(
+            SimTarget::live(nic),
+            g.clone(),
+            optimizer,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        // Traffic that always hits both tables -> merge-as-cache wins.
+        for _ in 0..200 {
+            let mut pkt = Packet::new(&g.fields);
+            pkt.set(f0, 1);
+            pkt.set(f1, 2);
+            c.target.nic.set_instrumentation(true, 1);
+            c.target.nic.process_one(&mut pkt);
+        }
+        let r = c.tick().unwrap();
+        let merged_deployed = c
+            .applied()
+            .map(|a| {
+                a.entry_map
+                    .sites(t0)
+                    .iter()
+                    .any(|s| matches!(s, EntrySite::MergedInto { .. }))
+            })
+            .unwrap_or(false);
+        if !merged_deployed {
+            // The optimizer may legitimately prefer a flow cache here;
+            // the re-materialization path is then covered by the
+            // entry-site routing below only when a merge exists.
+            eprintln!("note: no merge deployed (plan: {:?})", r.summary);
+            return;
+        }
+        // New entry in t0 must re-materialize the merged table so the new
+        // combination hits.
+        c.insert_entry(t0, TableEntry::new(vec![MatchValue::Exact(7)], 0))
+            .unwrap();
+        let mut pkt = Packet::new(&g.fields);
+        pkt.set(f0, 7);
+        pkt.set(f1, 2);
+        c.target.nic.process_one(&mut pkt);
+        assert_eq!(pkt.get(y), 1);
+        assert_eq!(pkt.get(z), 2);
+    }
+}

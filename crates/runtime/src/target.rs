@@ -1,0 +1,131 @@
+//! The deployable-target abstraction.
+
+use pipeleon_cost::RuntimeProfile;
+use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
+use pipeleon_sim::SmartNic;
+
+/// A SmartNIC the controller can deploy programs to and profile.
+pub trait Target {
+    /// Replaces the running program.
+    fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError>;
+    /// Collects and resets the runtime profile (optimized-layout space).
+    fn take_profile(&mut self) -> RuntimeProfile;
+    /// Inserts an entry into a table of the running program.
+    fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError>;
+    /// Removes the entry at `index` from a table.
+    fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError>;
+    /// Replaces a table definition in place (merged-table updates).
+    fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError>;
+    /// Flushes one flow cache's runtime state.
+    fn flush_cache(&mut self, node: NodeId);
+    /// Configures a flow cache's insertion rate limit.
+    fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64);
+    /// Seconds of service interruption one reconfiguration costs
+    /// (0 for runtime-programmable targets like BlueField2; positive for
+    /// reload-based targets like Agilio CX, §5.1).
+    fn reconfig_downtime_s(&self) -> f64 {
+        0.0
+    }
+}
+
+/// [`Target`] wrapper for the software emulator, with configurable
+/// reconfiguration downtime.
+#[derive(Debug)]
+pub struct SimTarget {
+    /// The wrapped NIC.
+    pub nic: SmartNic,
+    /// Downtime per reconfiguration in seconds.
+    pub downtime_s: f64,
+}
+
+impl SimTarget {
+    /// A live-reconfigurable target (BlueField2-style).
+    pub fn live(nic: SmartNic) -> Self {
+        Self {
+            nic,
+            downtime_s: 0.0,
+        }
+    }
+
+    /// A reload-based target (Agilio-style) with the given downtime.
+    pub fn reloading(nic: SmartNic, downtime_s: f64) -> Self {
+        Self { nic, downtime_s }
+    }
+}
+
+impl Target for SimTarget {
+    fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        self.nic.deploy(graph)
+    }
+
+    fn take_profile(&mut self) -> RuntimeProfile {
+        self.nic.take_profile()
+    }
+
+    fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        self.nic.insert_entry(node, entry)
+    }
+
+    fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        self.nic.remove_entry(node, index)
+    }
+
+    fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError> {
+        self.nic.replace_table(node, table, next)
+    }
+
+    fn flush_cache(&mut self, node: NodeId) {
+        self.nic.flush_cache(node)
+    }
+
+    fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
+        self.nic.set_cache_insertion_limit(node, rate_per_s)
+    }
+
+    fn reconfig_downtime_s(&self) -> f64 {
+        self.downtime_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_cost::CostParams;
+    use pipeleon_ir::{MatchKind, ProgramBuilder};
+
+    fn simple_graph() -> ProgramGraph {
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let t = b.table("t").key(f, MatchKind::Exact).finish();
+        b.seal(t).unwrap()
+    }
+
+    #[test]
+    fn sim_target_passthrough() {
+        let g = simple_graph();
+        let nic = SmartNic::new(g.clone(), CostParams::bluefield2()).unwrap();
+        let mut t = SimTarget::live(nic);
+        assert_eq!(t.reconfig_downtime_s(), 0.0);
+        t.deploy(g).unwrap();
+        let p = t.take_profile();
+        assert_eq!(p.total_packets, 0);
+    }
+
+    #[test]
+    fn reloading_target_reports_downtime() {
+        let g = simple_graph();
+        let nic = SmartNic::new(g, CostParams::agilio_cx()).unwrap();
+        let t = SimTarget::reloading(nic, 2.5);
+        assert_eq!(t.reconfig_downtime_s(), 2.5);
+    }
+}

@@ -1,0 +1,445 @@
+//! Match engines: the data structures behind key matching.
+//!
+//! Exact tables are a single hash table (one memory access). LPM and
+//! ternary tables are families of hash tables — one per distinct prefix
+//! length / mask pattern — exactly the implementation the cost model's `m`
+//! parameter abstracts (paper §3.1). Each lookup reports how many hash
+//! tables it probed so the executor charges `probes × L_mat`.
+
+use crate::packet::Packet;
+use pipeleon_ir::{prefix_mask, MatchKind, MatchValue, Table};
+use std::collections::HashMap;
+
+/// The outcome of a key match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// Index of the matched entry in the table, `None` on miss.
+    pub entry: Option<usize>,
+    /// The action to execute (matched entry's action, or the default).
+    pub action: usize,
+    /// Number of hash tables probed (the realized `m`).
+    pub probes: usize,
+}
+
+/// One hash-table "way": all entries sharing a mask pattern.
+#[derive(Debug, Clone)]
+struct Way {
+    /// Per-key masks applied to the packet value before hashing. Exact
+    /// keys use `u64::MAX`; LPM/ternary use their prefix/bit masks; range
+    /// keys force a linear scan (`None` signature).
+    masks: Vec<u64>,
+    /// Specificity used for LPM ordering (total set bits across masks).
+    specificity: u32,
+    /// Masked key values → entry indices (highest priority kept first).
+    map: HashMap<Vec<u64>, Vec<usize>>,
+}
+
+/// How the engine resolves among ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolve {
+    /// Single way, first match wins (exact tables).
+    Exact,
+    /// Probe ways most-specific-first, stop at the first hit (LPM).
+    LongestPrefix,
+    /// Probe all ways, pick the highest-priority hit (ternary).
+    Priority,
+}
+
+/// A compiled match engine for one table.
+#[derive(Debug, Clone)]
+pub struct MatchEngine {
+    key_fields: Vec<pipeleon_ir::FieldRef>,
+    ways: Vec<Way>,
+    /// Entries needing a linear scan (ranges).
+    scan_entries: Vec<usize>,
+    resolve: Resolve,
+    default_action: usize,
+    /// Entry index → (action, priority) copied from the table.
+    entry_meta: Vec<(usize, i32)>,
+    has_keys: bool,
+}
+
+impl MatchEngine {
+    /// Compiles the engine from a table definition. The table should have
+    /// passed [`Table::validate`].
+    pub fn build(table: &Table) -> Self {
+        let key_fields = table.keys.iter().map(|k| k.field).collect::<Vec<_>>();
+        let resolve = match table.effective_kind() {
+            MatchKind::Exact => Resolve::Exact,
+            MatchKind::Lpm => Resolve::LongestPrefix,
+            MatchKind::Ternary | MatchKind::Range => Resolve::Priority,
+        };
+        let mut ways: Vec<Way> = Vec::new();
+        let mut scan_entries = Vec::new();
+        let entry_meta = table
+            .entries
+            .iter()
+            .map(|e| (e.action, e.priority))
+            .collect();
+        'entry: for (idx, e) in table.entries.iter().enumerate() {
+            let mut masks = Vec::with_capacity(e.matches.len());
+            let mut key = Vec::with_capacity(e.matches.len());
+            for mv in &e.matches {
+                let (mask, value) = match *mv {
+                    MatchValue::Exact(v) => (u64::MAX, v),
+                    MatchValue::Lpm { value, prefix_len } => (prefix_mask(prefix_len), value),
+                    MatchValue::Ternary { value, mask } => (mask, value),
+                    MatchValue::Range { .. } => {
+                        scan_entries.push(idx);
+                        continue 'entry;
+                    }
+                };
+                masks.push(mask);
+                key.push(value & mask);
+            }
+            let way = match ways.iter_mut().find(|w| w.masks == masks) {
+                Some(w) => w,
+                None => {
+                    let specificity = masks.iter().map(|m| m.count_ones()).sum();
+                    ways.push(Way {
+                        masks,
+                        specificity,
+                        map: HashMap::new(),
+                    });
+                    ways.last_mut().expect("just pushed")
+                }
+            };
+            way.map.entry(key).or_default().push(idx);
+        }
+        // LPM: most specific way first so the first hit is the longest
+        // prefix. Stable by construction order otherwise.
+        if resolve == Resolve::LongestPrefix {
+            ways.sort_by(|a, b| b.specificity.cmp(&a.specificity));
+        }
+        Self {
+            key_fields,
+            ways,
+            scan_entries,
+            resolve,
+            default_action: table.default_action,
+            entry_meta,
+            has_keys: !table.keys.is_empty(),
+        }
+    }
+
+    /// The number of hash-table ways (the structural `m`).
+    pub fn num_ways(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Looks up a packet. `table` must be the same definition the engine
+    /// was built from (used for range comparisons).
+    pub fn lookup(&self, table: &Table, packet: &Packet) -> LookupOutcome {
+        if !self.has_keys {
+            // Keyless tables always run the default action with no access.
+            return LookupOutcome {
+                entry: None,
+                action: self.default_action,
+                probes: 0,
+            };
+        }
+        let values: Vec<u64> = self.key_fields.iter().map(|&f| packet.get(f)).collect();
+        let mut probes = 0usize;
+        let mut best: Option<(usize, i32)> = None; // (entry, priority)
+        for way in &self.ways {
+            probes += 1;
+            let key: Vec<u64> = values.iter().zip(&way.masks).map(|(v, m)| v & m).collect();
+            if let Some(entries) = way.map.get(&key) {
+                for &idx in entries {
+                    let (_, prio) = self.entry_meta[idx];
+                    let better = match best {
+                        None => true,
+                        Some((best_idx, best_prio)) => match self.resolve {
+                            Resolve::Priority => {
+                                prio > best_prio || (prio == best_prio && idx < best_idx)
+                            }
+                            _ => false,
+                        },
+                    };
+                    if better {
+                        best = Some((idx, prio));
+                    }
+                }
+                if !matches!(self.resolve, Resolve::Priority) && best.is_some() {
+                    // Exact / LPM: first (most specific) hit wins.
+                    break;
+                }
+            }
+        }
+        // Linear-scan entries (ranges) act like one extra probe.
+        if !self.scan_entries.is_empty() {
+            probes += 1;
+            for &idx in &self.scan_entries {
+                let e = &table.entries[idx];
+                let hit = e.matches.iter().zip(&values).all(|(mv, &v)| mv.matches(v));
+                if hit {
+                    let (_, prio) = self.entry_meta[idx];
+                    let better = match best {
+                        None => true,
+                        Some((best_idx, best_prio)) => {
+                            prio > best_prio || (prio == best_prio && idx < best_idx)
+                        }
+                    };
+                    if better {
+                        best = Some((idx, prio));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((idx, _)) => LookupOutcome {
+                entry: Some(idx),
+                action: self.entry_meta[idx].0,
+                probes,
+            },
+            None => LookupOutcome {
+                entry: None,
+                action: self.default_action,
+                probes: probes.max(1),
+            },
+        }
+    }
+}
+
+/// Reference semantics: linear scan over entries honouring LPM longest-
+/// prefix and ternary priority resolution. Used by property tests as an
+/// oracle for [`MatchEngine`].
+pub fn oracle_lookup(table: &Table, packet: &Packet) -> (Option<usize>, usize) {
+    let values: Vec<u64> = table.keys.iter().map(|k| packet.get(k.field)).collect();
+    let mut best: Option<(usize, i64)> = None; // (entry, score)
+    for (idx, e) in table.entries.iter().enumerate() {
+        let hit = e.matches.iter().zip(&values).all(|(mv, &v)| mv.matches(v));
+        if !hit {
+            continue;
+        }
+        // Score: LPM tables prefer longer prefixes; ternary/range prefer
+        // higher priority; exact tables take the first hit.
+        let score = match table.effective_kind() {
+            MatchKind::Lpm => e
+                .matches
+                .iter()
+                .map(|m| match *m {
+                    MatchValue::Lpm { prefix_len, .. } => prefix_len as i64,
+                    MatchValue::Exact(_) => 64,
+                    _ => 0,
+                })
+                .sum(),
+            MatchKind::Ternary | MatchKind::Range => e.priority as i64,
+            MatchKind::Exact => 0,
+        };
+        match best {
+            None => best = Some((idx, score)),
+            Some((_, s)) if score > s => best = Some((idx, score)),
+            _ => {}
+        }
+    }
+    match best {
+        Some((idx, _)) => (Some(idx), table.entries[idx].action),
+        None => (None, table.default_action),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::{Action, FieldRef, MatchKey, TableEntry};
+
+    fn packet(vals: &[u64]) -> Packet {
+        Packet::with_slots(vals.to_vec())
+    }
+
+    fn table_with(kind: MatchKind, entries: Vec<TableEntry>) -> Table {
+        let mut t = Table::new("t");
+        t.keys = vec![MatchKey {
+            field: FieldRef(0),
+            kind,
+        }];
+        t.actions = vec![Action::nop("miss"), Action::nop("hit")];
+        t.entries = entries;
+        t
+    }
+
+    #[test]
+    fn exact_lookup_one_probe() {
+        let t = table_with(
+            MatchKind::Exact,
+            vec![
+                TableEntry::new(vec![MatchValue::Exact(5)], 1),
+                TableEntry::new(vec![MatchValue::Exact(9)], 1),
+            ],
+        );
+        let e = MatchEngine::build(&t);
+        let r = e.lookup(&t, &packet(&[5]));
+        assert_eq!(r.entry, Some(0));
+        assert_eq!(r.action, 1);
+        assert_eq!(r.probes, 1);
+        let r = e.lookup(&t, &packet(&[7]));
+        assert_eq!(r.entry, None);
+        assert_eq!(r.action, 0);
+        assert_eq!(r.probes, 1);
+    }
+
+    #[test]
+    fn lpm_picks_longest_prefix() {
+        let t = table_with(
+            MatchKind::Lpm,
+            vec![
+                TableEntry::new(
+                    vec![MatchValue::Lpm {
+                        value: 0xAB00_0000_0000_0000,
+                        prefix_len: 8,
+                    }],
+                    0,
+                ),
+                TableEntry::new(
+                    vec![MatchValue::Lpm {
+                        value: 0xABCD_0000_0000_0000,
+                        prefix_len: 16,
+                    }],
+                    1,
+                ),
+            ],
+        );
+        let e = MatchEngine::build(&t);
+        assert_eq!(e.num_ways(), 2);
+        // Matches both prefixes; /16 must win, probed first (1 probe).
+        let r = e.lookup(&t, &packet(&[0xABCD_1234_0000_0000]));
+        assert_eq!(r.entry, Some(1));
+        assert_eq!(r.probes, 1);
+        // Matches only the /8: probes the /16 way first, then the /8.
+        let r = e.lookup(&t, &packet(&[0xAB11_0000_0000_0000]));
+        assert_eq!(r.entry, Some(0));
+        assert_eq!(r.probes, 2);
+    }
+
+    #[test]
+    fn ternary_resolves_by_priority_probing_all_ways() {
+        let t = table_with(
+            MatchKind::Ternary,
+            vec![
+                TableEntry::with_priority(
+                    vec![MatchValue::Ternary {
+                        value: 0x10,
+                        mask: 0xF0,
+                    }],
+                    0,
+                    1,
+                ),
+                TableEntry::with_priority(
+                    vec![MatchValue::Ternary {
+                        value: 0x12,
+                        mask: 0xFF,
+                    }],
+                    1,
+                    2,
+                ),
+                TableEntry::with_priority(vec![MatchValue::ANY], 0, 0),
+            ],
+        );
+        let e = MatchEngine::build(&t);
+        assert_eq!(e.num_ways(), 3);
+        let r = e.lookup(&t, &packet(&[0x12]));
+        assert_eq!(r.entry, Some(1)); // priority 2 wins
+        assert_eq!(r.probes, 3);
+        let r = e.lookup(&t, &packet(&[0x15]));
+        assert_eq!(r.entry, Some(0)); // only 0xF0 mask + wildcard; prio 1 wins
+        let r = e.lookup(&t, &packet(&[0xFF]));
+        assert_eq!(r.entry, Some(2)); // wildcard
+    }
+
+    #[test]
+    fn range_entries_linear_scan() {
+        let t = table_with(
+            MatchKind::Range,
+            vec![
+                TableEntry::with_priority(vec![MatchValue::Range { lo: 10, hi: 20 }], 1, 1),
+                TableEntry::with_priority(vec![MatchValue::Range { lo: 15, hi: 30 }], 1, 2),
+            ],
+        );
+        let e = MatchEngine::build(&t);
+        let r = e.lookup(&t, &packet(&[17]));
+        assert_eq!(r.entry, Some(1)); // overlap: priority 2 wins
+        let r = e.lookup(&t, &packet(&[12]));
+        assert_eq!(r.entry, Some(0));
+        let r = e.lookup(&t, &packet(&[99]));
+        assert_eq!(r.entry, None);
+    }
+
+    #[test]
+    fn keyless_table_runs_default_with_no_probe() {
+        let mut t = Table::new("keyless");
+        t.actions = vec![Action::nop("only")];
+        let e = MatchEngine::build(&t);
+        let r = e.lookup(&t, &packet(&[1, 2, 3]));
+        assert_eq!(r.probes, 0);
+        assert_eq!(r.action, 0);
+    }
+
+    #[test]
+    fn multi_key_exact_plus_ternary() {
+        let mut t = Table::new("multi");
+        t.keys = vec![
+            MatchKey {
+                field: FieldRef(0),
+                kind: MatchKind::Exact,
+            },
+            MatchKey {
+                field: FieldRef(1),
+                kind: MatchKind::Ternary,
+            },
+        ];
+        t.actions = vec![Action::nop("miss"), Action::nop("hit")];
+        t.entries = vec![TableEntry::with_priority(
+            vec![
+                MatchValue::Exact(7),
+                MatchValue::Ternary { value: 0, mask: 0 },
+            ],
+            1,
+            1,
+        )];
+        let e = MatchEngine::build(&t);
+        assert_eq!(e.lookup(&t, &packet(&[7, 123])).entry, Some(0));
+        assert_eq!(e.lookup(&t, &packet(&[8, 123])).entry, None);
+    }
+
+    #[test]
+    fn engine_agrees_with_oracle_on_mixed_entries() {
+        // Deterministic pseudo-random agreement check (full proptest lives
+        // in the crate's property tests).
+        let mut entries = Vec::new();
+        let mut x: u64 = 0x12345;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..50 {
+            let v = next() % 64;
+            let m = next() % 64;
+            entries.push(TableEntry::with_priority(
+                vec![MatchValue::Ternary { value: v, mask: m }],
+                (i % 2) as usize,
+                (next() % 10) as i32,
+            ));
+        }
+        let t = table_with(MatchKind::Ternary, entries);
+        let e = MatchEngine::build(&t);
+        for _ in 0..500 {
+            let p = packet(&[next() % 64]);
+            let (oe, oa) = oracle_lookup(&t, &p);
+            let r = e.lookup(&t, &p);
+            // Entry indices may differ among equal (priority, tie) pairs —
+            // compare the resolved action and hit/miss status. With
+            // distinct priorities this is exact.
+            assert_eq!(r.entry.is_some(), oe.is_some());
+            if let (Some(re), Some(oe)) = (r.entry, oe) {
+                assert_eq!(
+                    t.entries[re].priority, t.entries[oe].priority,
+                    "engine and oracle picked different priorities"
+                );
+            }
+            let _ = oa;
+        }
+    }
+}

@@ -1,0 +1,989 @@
+//! The run-to-completion executor.
+//!
+//! Walks a program DAG for one packet at a time, executing branch
+//! conditions and action primitives for real, and accounting latency from
+//! the same mechanisms the cost model abstracts: hash-table probes for key
+//! matches (`probes × L_mat`), primitives (`n_a × L_act`), branch
+//! comparisons, counter updates (with optional packet sampling, §5.4.1),
+//! flow-cache lookups/insertions (§3.2.2), and ASIC↔CPU migrations
+//! (§3.2.4 / Appendix A.2).
+//!
+//! Flow caches need no side metadata: a [`CacheRole::FlowCache`] table is a
+//! switch-case node whose action 0 ("hit") jumps past the covered segment
+//! and whose default action ("miss") falls through to the segment head. On
+//! a miss the executor records every `(table, action)` executed until
+//! control reaches the hit target, then installs that result — so the
+//! covered segment is discovered structurally.
+
+use crate::cache::{LruCache, RateLimiter};
+use crate::engine::{LookupOutcome, MatchEngine};
+use crate::packet::Packet;
+use pipeleon_cost::{CostParams, MatchCostModel, MemoryTier, Placement, RuntimeProfile};
+use pipeleon_ir::{
+    CacheRole, EdgeRef, IrError, NextHops, NodeId, NodeKind, Primitive, ProgramGraph, TableEntry,
+};
+use std::collections::HashMap;
+
+/// Per-packet execution report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecReport {
+    /// Total accounted latency in ns.
+    pub latency_ns: f64,
+    /// Whether the packet was dropped.
+    pub dropped: bool,
+    /// ASIC↔CPU migrations performed.
+    pub migrations: usize,
+    /// Hash-table probes across all key matches.
+    pub probes: usize,
+    /// Counter updates actually performed (after sampling).
+    pub counter_updates: usize,
+}
+
+/// Optional per-packet trace for semantic-equivalence testing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PacketTrace {
+    /// Nodes visited, in order.
+    pub visited: Vec<NodeId>,
+    /// `(table, action)` pairs executed (including cache replays).
+    pub actions: Vec<(NodeId, usize)>,
+}
+
+/// The result cached for a flow: the `(table, action)` pairs to replay.
+type CachedResult = Vec<(NodeId, usize)>;
+
+#[derive(Debug)]
+struct FlowCacheState {
+    lru: LruCache<Vec<u64>, CachedResult>,
+    limiter: RateLimiter,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+}
+
+#[derive(Debug)]
+struct PendingInsert {
+    cache: NodeId,
+    key: Vec<u64>,
+    exit: Option<NodeId>,
+    recorded: CachedResult,
+}
+
+/// Default flow-cache capacity when a cache table has no `max_entries`.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Default cache insertion rate limit (insertions/s) when unspecified.
+pub const DEFAULT_INSERTION_RATE: f64 = 100_000.0;
+
+/// Executes a deployed program packet-by-packet.
+#[derive(Debug)]
+pub struct Executor {
+    graph: ProgramGraph,
+    params: CostParams,
+    engines: Vec<Option<MatchEngine>>,
+    caches: HashMap<NodeId, FlowCacheState>,
+    placement: Vec<Placement>,
+    memory_tiers: Vec<MemoryTier>,
+    /// Counters collected since the last [`Executor::take_profile`]
+    /// (raw, i.e. sampled counts — see [`Executor::sampled_profile`]).
+    profile: RuntimeProfile,
+    instrumented: bool,
+    sample_every: u64,
+    packet_seq: u64,
+    distinct: HashMap<NodeId, std::collections::HashSet<Vec<u64>>>,
+    last_profile_take_s: f64,
+    /// Simulation clock in seconds, advanced by the NIC harness.
+    pub now_s: f64,
+}
+
+/// Cap on tracked distinct keys per table (the estimate saturates here).
+const DISTINCT_TRACK_CAP: usize = 65_536;
+
+/// Fraction of a counter update's cost paid by non-sampled packets when
+/// sampling is active: the per-packet sample decision (hash + compare)
+/// still sits on the data path (§5.4.1).
+pub const SAMPLE_CHECK_FRACTION: f64 = 0.12;
+
+impl Executor {
+    /// Deploys `graph` on a target described by `params`. Fails if the
+    /// program does not validate.
+    pub fn new(graph: ProgramGraph, params: CostParams) -> Result<Self, IrError> {
+        graph.validate()?;
+        let mut ex = Self {
+            engines: Vec::new(),
+            caches: HashMap::new(),
+            placement: Vec::new(),
+            memory_tiers: Vec::new(),
+            profile: RuntimeProfile::empty(),
+            instrumented: false,
+            sample_every: 1,
+            packet_seq: 0,
+            distinct: HashMap::new(),
+            last_profile_take_s: 0.0,
+            now_s: 0.0,
+            graph,
+            params,
+        };
+        ex.rebuild_all();
+        Ok(ex)
+    }
+
+    /// The deployed program.
+    pub fn graph(&self) -> &ProgramGraph {
+        &self.graph
+    }
+
+    /// The target parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Replaces the deployed program (live reconfiguration). Cache state
+    /// and counters are reset; the clock is preserved.
+    pub fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        graph.validate()?;
+        self.graph = graph;
+        self.profile = RuntimeProfile::empty();
+        self.rebuild_all();
+        Ok(())
+    }
+
+    /// Enables P4-counter instrumentation, updating counters for one in
+    /// `sample_every` packets (1 = every packet; §5.4.1 uses 1/1024).
+    pub fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
+        self.instrumented = enabled;
+        self.sample_every = sample_every.max(1);
+    }
+
+    /// Assigns nodes to ASIC/CPU cores (dense by node id; missing =
+    /// ASIC). Costs on CPU nodes scale by `cpu_scale`; placement-crossing
+    /// hops pay `l_migration`.
+    pub fn set_placement(&mut self, placement: Vec<Placement>) {
+        self.placement = placement;
+    }
+
+    /// Assigns tables to memory tiers (dense by node id; missing = EMEM).
+    /// Key matches of SRAM-resident tables run `sram_speedup`× faster
+    /// (§6 hierarchical-memory extension).
+    pub fn set_memory_tiers(&mut self, tiers: Vec<MemoryTier>) {
+        self.memory_tiers = tiers;
+    }
+
+    fn tier_scale(&self, id: NodeId) -> f64 {
+        let tier = self
+            .memory_tiers
+            .get(id.index())
+            .copied()
+            .unwrap_or(MemoryTier::Emem);
+        self.params.tiers.match_scale(tier)
+    }
+
+    /// Inserts an entry into a table and recompiles its engine.
+    pub fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        let n = self
+            .graph
+            .node_mut(node)
+            .ok_or(IrError::UnknownNode(node))?;
+        let t = n.as_table_mut().ok_or(IrError::BadTable {
+            table: node,
+            reason: "not a table".into(),
+        })?;
+        t.entries.push(entry);
+        t.validate().map_err(|reason| IrError::BadEntry {
+            table: node,
+            reason,
+        })?;
+        self.rebuild_engine(node);
+        Ok(())
+    }
+
+    /// Removes the entry at `index` from a table and recompiles.
+    pub fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        let n = self
+            .graph
+            .node_mut(node)
+            .ok_or(IrError::UnknownNode(node))?;
+        let t = n.as_table_mut().ok_or(IrError::BadTable {
+            table: node,
+            reason: "not a table".into(),
+        })?;
+        if index >= t.entries.len() {
+            return Err(IrError::BadEntry {
+                table: node,
+                reason: format!("no entry at index {index}"),
+            });
+        }
+        let e = t.entries.remove(index);
+        self.rebuild_engine(node);
+        Ok(e)
+    }
+
+    /// Replaces a table node's definition (and optionally its next-hops)
+    /// in place — used when a merged table is re-materialized after a
+    /// control-plane update. The engine is recompiled; the node id stays
+    /// stable.
+    pub fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: pipeleon_ir::Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError> {
+        {
+            let n = self
+                .graph
+                .node_mut(node)
+                .ok_or(IrError::UnknownNode(node))?;
+            if n.as_table().is_none() {
+                return Err(IrError::BadTable {
+                    table: node,
+                    reason: "not a table".into(),
+                });
+            }
+            n.kind = pipeleon_ir::NodeKind::Table(table);
+            if let Some(next) = next {
+                n.next = next;
+            }
+        }
+        self.graph.validate()?;
+        self.rebuild_engine(node);
+        Ok(())
+    }
+
+    /// Flushes the runtime state of one flow cache (invalidation).
+    pub fn flush_cache(&mut self, node: NodeId) {
+        if let Some(c) = self.caches.get_mut(&node) {
+            c.lru.clear();
+        }
+    }
+
+    /// Number of live entries in a flow cache's runtime state.
+    pub fn cache_len(&self, node: NodeId) -> usize {
+        self.caches.get(&node).map_or(0, |c| c.lru.len())
+    }
+
+    /// Takes the collected (sampled) profile, resetting counters. Cache
+    /// hit/miss statistics are merged in (they are maintained unsampled).
+    pub fn take_profile(&mut self) -> RuntimeProfile {
+        let mut p = std::mem::take(&mut self.profile);
+        if self.instrumented && self.sample_every > 1 {
+            p.scale_counts(self.sample_every);
+        }
+        p.window_s = (self.now_s - self.last_profile_take_s).max(1e-9);
+        self.last_profile_take_s = self.now_s;
+        for (node, set) in self.distinct.drain() {
+            p.set_distinct_keys(node, set.len() as u64);
+        }
+        for (&node, c) in &mut self.caches {
+            p.cache_stats.insert(
+                node,
+                pipeleon_cost::CacheStats {
+                    hits: c.hits,
+                    misses: c.misses,
+                    insertions: c.insertions,
+                },
+            );
+            c.hits = 0;
+            c.misses = 0;
+            c.insertions = 0;
+        }
+        p
+    }
+
+    /// Peeks at the profile without resetting (counts not rescaled).
+    pub fn sampled_profile(&self) -> &RuntimeProfile {
+        &self.profile
+    }
+
+    fn rebuild_all(&mut self) {
+        self.engines = vec![None; self.graph.id_bound()];
+        self.caches.clear();
+        let ids: Vec<NodeId> = self.graph.iter_nodes().map(|n| n.id).collect();
+        for id in ids {
+            self.rebuild_engine(id);
+        }
+    }
+
+    fn rebuild_engine(&mut self, id: NodeId) {
+        if self.engines.len() < self.graph.id_bound() {
+            self.engines.resize(self.graph.id_bound(), None);
+        }
+        let Some(n) = self.graph.node(id) else { return };
+        if let Some(t) = n.as_table() {
+            self.engines[id.index()] = Some(MatchEngine::build(t));
+            if t.cache_role == CacheRole::FlowCache && !self.caches.contains_key(&id) {
+                self.caches.insert(
+                    id,
+                    FlowCacheState {
+                        lru: LruCache::new(t.max_entries.unwrap_or(DEFAULT_CACHE_CAPACITY)),
+                        limiter: RateLimiter::new(
+                            DEFAULT_INSERTION_RATE,
+                            DEFAULT_INSERTION_RATE / 100.0,
+                        ),
+                        hits: 0,
+                        misses: 0,
+                        insertions: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Sets a flow cache's insertion rate limit (insertions per second).
+    pub fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
+        if let Some(c) = self.caches.get_mut(&node) {
+            c.limiter = RateLimiter::new(rate_per_s, (rate_per_s / 100.0).max(8.0));
+        }
+    }
+
+    /// Processes one packet; see [`Executor::process_traced`] for traces.
+    pub fn process(&mut self, packet: &mut Packet) -> ExecReport {
+        self.run(packet, None)
+    }
+
+    /// Processes one packet and records the visited nodes / executed
+    /// actions into `trace`.
+    pub fn process_traced(&mut self, packet: &mut Packet, trace: &mut PacketTrace) -> ExecReport {
+        trace.visited.clear();
+        trace.actions.clear();
+        self.run(packet, Some(trace))
+    }
+
+    fn place(&self, id: NodeId) -> Placement {
+        self.placement
+            .get(id.index())
+            .copied()
+            .unwrap_or(Placement::Asic)
+    }
+
+    fn run(&mut self, packet: &mut Packet, mut trace: Option<&mut PacketTrace>) -> ExecReport {
+        self.packet_seq += 1;
+        let sampled = self.instrumented && (self.packet_seq % self.sample_every == 0);
+        if sampled {
+            self.profile.total_packets += 1;
+        }
+        let mut report = ExecReport {
+            latency_ns: self.params.l_base,
+            dropped: false,
+            migrations: 0,
+            probes: 0,
+            counter_updates: 0,
+        };
+        let mut pending: Vec<PendingInsert> = Vec::new();
+        let mut cur = self.graph.root();
+        let mut prev_place: Option<Placement> = None;
+
+        while let Some(id) = cur {
+            // Finalize any cache miss whose covered segment ends here.
+            self.finalize_pending(&mut pending, Some(id), &mut report);
+
+            let place = self.place(id);
+            if let Some(p) = prev_place {
+                if p != place {
+                    report.latency_ns += self.params.l_migration;
+                    report.migrations += 1;
+                }
+            }
+            prev_place = Some(place);
+            let scale = match place {
+                Placement::Asic => 1.0,
+                Placement::Cpu => self.params.cpu_scale,
+            };
+            if let Some(t) = trace.as_deref_mut() {
+                t.visited.push(id);
+            }
+
+            // Pull the node's shape out in a narrow scope.
+            enum Step {
+                Branch { slot: u16, target: Option<NodeId> },
+                Table,
+            }
+            let step = {
+                let node = self.graph.node(id).expect("validated graph");
+                match (&node.kind, &node.next) {
+                    (NodeKind::Branch(b), NextHops::Branch { on_true, on_false }) => {
+                        let cond = b.condition.eval(packet.slots());
+                        report.latency_ns += self.params.l_branch
+                            * b.condition.num_comparisons().max(1) as f64
+                            * scale;
+                        let (slot, target) = if cond { (0, *on_true) } else { (1, *on_false) };
+                        Step::Branch { slot, target }
+                    }
+                    _ => Step::Table,
+                }
+            };
+            match step {
+                Step::Branch { slot, target } => {
+                    if sampled {
+                        self.profile.record_edge(EdgeRef::new(id, slot), 1);
+                        report.counter_updates += 1;
+                        report.latency_ns += self.params.l_counter * scale;
+                    } else if self.instrumented {
+                        report.latency_ns += self.params.l_counter * SAMPLE_CHECK_FRACTION * scale;
+                    }
+                    cur = target;
+                    continue;
+                }
+                Step::Table => {}
+            }
+
+            let is_flow_cache = self
+                .graph
+                .node(id)
+                .and_then(|n| n.as_table())
+                .map(|t| t.cache_role == CacheRole::FlowCache)
+                .unwrap_or(false);
+
+            if is_flow_cache {
+                cur = self.exec_flow_cache(
+                    id,
+                    packet,
+                    scale,
+                    sampled,
+                    &mut pending,
+                    &mut report,
+                    &mut trace,
+                );
+            } else {
+                cur = self.exec_table(
+                    id,
+                    packet,
+                    scale,
+                    sampled,
+                    &mut pending,
+                    &mut report,
+                    &mut trace,
+                );
+            }
+            if packet.dropped {
+                report.dropped = true;
+                break;
+            }
+        }
+        // Segment results that run to the sink (exit == None) or were cut
+        // short by a drop still finalize.
+        self.finalize_pending(&mut pending, cur, &mut report);
+        if packet.dropped {
+            // A drop anywhere finalizes all pendings (the cached result
+            // replays the drop).
+            let mut all = std::mem::take(&mut pending);
+            for p in all.drain(..) {
+                self.install_pending(p, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Executes a regular (or merged-cache) table node; returns the next
+    /// node.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_table(
+        &mut self,
+        id: NodeId,
+        packet: &mut Packet,
+        scale: f64,
+        sampled: bool,
+        pending: &mut [PendingInsert],
+        report: &mut ExecReport,
+        trace: &mut Option<&mut PacketTrace>,
+    ) -> Option<NodeId> {
+        // Look up and copy out what we need before mutating self.
+        let (outcome, charged_probes, prims, next): (
+            LookupOutcome,
+            f64,
+            Vec<Primitive>,
+            Option<NodeId>,
+        ) = {
+            let node = self.graph.node(id).expect("validated graph");
+            let table = node.as_table().expect("table node");
+            let engine = self.engines[id.index()].as_ref().expect("engine built");
+            let outcome = engine.lookup(table, packet);
+            // Under a Fixed match model the charged probes follow the
+            // model's multiplier, not the realized way count.
+            let charged = match self.params.match_model {
+                MatchCostModel::Fixed { .. } => self.params.memory_accesses(table),
+                MatchCostModel::PerDistinctPattern { cap } => (outcome.probes.min(cap)) as f64,
+            };
+            let prims = table.actions[outcome.action].primitives.clone();
+            let next = match &node.next {
+                NextHops::Always(t) => *t,
+                NextHops::ByAction(v) => v[outcome.action],
+                NextHops::Branch { .. } => unreachable!("table with branch hops"),
+            };
+            (outcome, charged, prims, next)
+        };
+        report.probes += outcome.probes;
+        report.latency_ns += charged_probes * self.params.l_mat * scale * self.tier_scale(id);
+        report.latency_ns += prims.len() as f64 * self.params.l_act * scale;
+
+        if self.instrumented {
+            // Distinct-key tracking (pre-action packet state) feeds the
+            // optimizer's cross-product estimate; it models control-plane
+            // analytics, not a P4 counter, so it adds no data-path latency.
+            let key_vals: Vec<u64> = self
+                .graph
+                .node(id)
+                .and_then(|n| n.as_table())
+                .map(|t| t.keys.iter().map(|k| packet.get(k.field)).collect())
+                .unwrap_or_default();
+            if !key_vals.is_empty() {
+                let set = self.distinct.entry(id).or_default();
+                if set.len() < DISTINCT_TRACK_CAP {
+                    set.insert(key_vals);
+                }
+            }
+        }
+        Self::apply_primitives(packet, &prims);
+
+        for p in pending.iter_mut() {
+            p.recorded.push((id, outcome.action));
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.actions.push((id, outcome.action));
+        }
+        if sampled {
+            self.profile.record_action(id, outcome.action, 1);
+            report.counter_updates += 1;
+            report.latency_ns += self.params.l_counter * scale;
+        } else if self.instrumented {
+            report.latency_ns += self.params.l_counter * SAMPLE_CHECK_FRACTION * scale;
+        }
+        next
+    }
+
+    /// Executes a flow-cache node; returns the next node.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_flow_cache(
+        &mut self,
+        id: NodeId,
+        packet: &mut Packet,
+        scale: f64,
+        sampled: bool,
+        pending: &mut Vec<PendingInsert>,
+        report: &mut ExecReport,
+        trace: &mut Option<&mut PacketTrace>,
+    ) -> Option<NodeId> {
+        let (key, hit_target, miss_target, default_action) = {
+            let node = self.graph.node(id).expect("validated graph");
+            let table = node.as_table().expect("cache is a table");
+            let key: Vec<u64> = table.keys.iter().map(|k| packet.get(k.field)).collect();
+            let (hit_t, miss_t) = match &node.next {
+                NextHops::ByAction(v) => (
+                    v.first().copied().flatten(),
+                    v.get(table.default_action).copied().flatten(),
+                ),
+                NextHops::Always(t) => (*t, *t),
+                NextHops::Branch { .. } => unreachable!("cache with branch hops"),
+            };
+            (key, hit_t, miss_t, table.default_action)
+        };
+        // One exact lookup either way.
+        report.probes += 1;
+        report.latency_ns += self.params.l_mat * scale;
+
+        let cached: Option<CachedResult> = self
+            .caches
+            .get_mut(&id)
+            .and_then(|c| c.lru.get(&key).cloned());
+        match cached {
+            Some(result) => {
+                if let Some(c) = self.caches.get_mut(&id) {
+                    c.hits += 1;
+                }
+                if sampled {
+                    self.profile.record_action(id, 0, 1);
+                    report.counter_updates += 1;
+                    report.latency_ns += self.params.l_counter * scale;
+                }
+                // Replay the recorded actions: execute their primitives and
+                // maintain the counter map back to original tables. Outer
+                // pending recordings (a cache covering this cache's region)
+                // observe the replayed actions too.
+                for p in pending.iter_mut() {
+                    p.recorded.extend(result.iter().copied());
+                }
+                for (nid, aidx) in &result {
+                    let prims: Vec<Primitive> = self
+                        .graph
+                        .node(*nid)
+                        .and_then(|n| n.as_table())
+                        .map(|t| t.actions[*aidx].primitives.clone())
+                        .unwrap_or_default();
+                    report.latency_ns += prims.len() as f64 * self.params.l_act * scale;
+                    Self::apply_primitives(packet, &prims);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.actions.push((*nid, *aidx));
+                    }
+                    if sampled {
+                        self.profile.record_action(*nid, *aidx, 1);
+                        report.counter_updates += 1;
+                        report.latency_ns += self.params.l_counter * scale;
+                    }
+                }
+                hit_target
+            }
+            None => {
+                if let Some(c) = self.caches.get_mut(&id) {
+                    c.misses += 1;
+                }
+                if sampled {
+                    self.profile.record_action(id, default_action, 1);
+                    report.counter_updates += 1;
+                    report.latency_ns += self.params.l_counter * scale;
+                }
+                pending.push(PendingInsert {
+                    cache: id,
+                    key,
+                    exit: hit_target,
+                    recorded: Vec::new(),
+                });
+                miss_target
+            }
+        }
+    }
+
+    fn finalize_pending(
+        &mut self,
+        pending: &mut Vec<PendingInsert>,
+        at: Option<NodeId>,
+        report: &mut ExecReport,
+    ) {
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].exit == at {
+                let p = pending.remove(i);
+                self.install_pending(p, report);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn install_pending(&mut self, p: PendingInsert, report: &mut ExecReport) {
+        let now = self.now_s;
+        if let Some(c) = self.caches.get_mut(&p.cache) {
+            if c.limiter.allow(now) {
+                c.lru.insert(p.key, p.recorded);
+                c.insertions += 1;
+                report.latency_ns += self.params.l_cache_insert;
+            }
+        }
+    }
+
+    fn apply_primitives(packet: &mut Packet, prims: &[Primitive]) {
+        for p in prims {
+            match *p {
+                Primitive::Set { field, value } => packet.set(field, value),
+                Primitive::Add { field, delta } => {
+                    let v = packet.get(field).wrapping_add(delta);
+                    packet.set(field, v);
+                }
+                Primitive::Sub { field, delta } => {
+                    let v = packet.get(field).wrapping_sub(delta);
+                    packet.set(field, v);
+                }
+                Primitive::Copy { dst, src } => {
+                    let v = packet.get(src);
+                    packet.set(dst, v);
+                }
+                Primitive::Drop => packet.dropped = true,
+                Primitive::Forward { port } => packet.egress_port = Some(port),
+                Primitive::Nop => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::{Condition, MatchKind, MatchValue, Primitive, ProgramBuilder, TableEntry};
+
+    fn params() -> CostParams {
+        let mut p = CostParams::bluefield2();
+        p.l_mat = 10.0;
+        p.l_act = 2.0;
+        p.l_branch = 1.0;
+        p.l_base = 0.0;
+        p.l_counter = 0.5;
+        p.l_cache_insert = 20.0;
+        p.l_migration = 100.0;
+        p.cpu_scale = 3.0;
+        p
+    }
+
+    /// acl(drop if x==13) -> rewrite(y=7) -> sink
+    fn simple_program() -> (pipeleon_ir::ProgramGraph, NodeId, NodeId) {
+        let mut b = ProgramBuilder::new();
+        let x = b.field("x");
+        let y = b.field("y");
+        let acl = b
+            .table("acl")
+            .key(x, MatchKind::Exact)
+            .action_nop("permit")
+            .action_drop("deny")
+            .entry(TableEntry::new(vec![MatchValue::Exact(13)], 1))
+            .finish();
+        let rw = b
+            .table("rewrite")
+            .key(x, MatchKind::Exact)
+            .action("set_y", vec![Primitive::set(y, 7)])
+            .default_action(0)
+            .finish();
+        let _ = rw;
+        (b.seal(acl).unwrap(), acl, rw)
+    }
+
+    #[test]
+    fn executes_actions_and_accounts_latency() {
+        let (g, _, _) = simple_program();
+        let y = g.fields.get("y").unwrap();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut p = Packet::with_slots(vec![1, 0]);
+        let r = ex.process(&mut p);
+        assert!(!r.dropped);
+        assert_eq!(p.get(y), 7);
+        // acl: 1 probe * 10 + 0 prims; rewrite: 1 probe * 10 + 1 prim * 2.
+        assert!((r.latency_ns - 22.0).abs() < 1e-9, "got {}", r.latency_ns);
+        assert_eq!(r.probes, 2);
+    }
+
+    #[test]
+    fn drop_halts_execution() {
+        let (g, _, _) = simple_program();
+        let y = g.fields.get("y").unwrap();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut p = Packet::with_slots(vec![13, 0]);
+        let r = ex.process(&mut p);
+        assert!(r.dropped);
+        assert_eq!(p.get(y), 0, "rewrite must not run after a drop");
+        // acl only: 10 + 1 prim (Drop) * 2 = 12.
+        assert!((r.latency_ns - 12.0).abs() < 1e-9, "got {}", r.latency_ns);
+    }
+
+    #[test]
+    fn branch_routing_and_tracing() {
+        let mut b = ProgramBuilder::new();
+        let x = b.field("x");
+        let t1 = b.table("t1").key(x, MatchKind::Exact).finish();
+        b.set_next(t1, None);
+        let t2 = b.table("t2").key(x, MatchKind::Exact).finish();
+        b.set_next(t2, None);
+        let br = b.branch("br", Condition::lt(x, 10), Some(t1), Some(t2));
+        let g = b.seal(br).unwrap();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut trace = PacketTrace::default();
+        let mut p = Packet::with_slots(vec![5]);
+        ex.process_traced(&mut p, &mut trace);
+        assert_eq!(trace.visited, vec![br, t1]);
+        let mut p = Packet::with_slots(vec![50]);
+        ex.process_traced(&mut p, &mut trace);
+        assert_eq!(trace.visited, vec![br, t2]);
+    }
+
+    #[test]
+    fn instrumentation_collects_counters_and_costs_latency() {
+        let (g, acl, _) = simple_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        ex.set_instrumentation(true, 1);
+        let mut lat_sum = 0.0;
+        for i in 0..10 {
+            let mut p = Packet::with_slots(vec![i, 0]);
+            lat_sum += ex.process(&mut p).latency_ns;
+        }
+        let prof = ex.take_profile();
+        assert_eq!(prof.action_count(acl, 0), 10);
+        // Uninstrumented latency for the same packets is 22 each; with 2
+        // counter updates each (+0.5) it is 23.
+        assert!((lat_sum - 230.0).abs() < 1e-6, "got {lat_sum}");
+        // take_profile resets.
+        assert_eq!(ex.sampled_profile().action_count(acl, 0), 0);
+    }
+
+    #[test]
+    fn sampling_reduces_overhead_and_scales_counts() {
+        let (g, acl, _) = simple_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        ex.set_instrumentation(true, 4);
+        for i in 0..100 {
+            let mut p = Packet::with_slots(vec![100 + i, 0]);
+            ex.process(&mut p);
+        }
+        let prof = ex.take_profile();
+        // 25 sampled packets, scaled by 4 back to 100.
+        assert_eq!(prof.action_count(acl, 0), 100);
+    }
+
+    #[test]
+    fn entry_api_rebuilds_engine() {
+        let (g, acl, _) = simple_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut p = Packet::with_slots(vec![99, 0]);
+        assert!(!ex.process(&mut p.clone()).dropped);
+        ex.insert_entry(acl, TableEntry::new(vec![MatchValue::Exact(99)], 1))
+            .unwrap();
+        assert!(ex.process(&mut p).dropped);
+        let removed = ex.remove_entry(acl, 1).unwrap();
+        assert_eq!(removed.matches, vec![MatchValue::Exact(99)]);
+        let mut p = Packet::with_slots(vec![99, 0]);
+        assert!(!ex.process(&mut p).dropped);
+    }
+
+    #[test]
+    fn placement_charges_migration_and_scales() {
+        let (g, acl, rw) = simple_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut placement = vec![Placement::Asic; 8];
+        placement[rw.index()] = Placement::Cpu;
+        let _ = acl;
+        ex.set_placement(placement);
+        let mut p = Packet::with_slots(vec![1, 0]);
+        let r = ex.process(&mut p);
+        assert_eq!(r.migrations, 1);
+        // acl 10 + migration 100 + rewrite (10 + 2) * 3 = 146.
+        assert!((r.latency_ns - 146.0).abs() < 1e-9, "got {}", r.latency_ns);
+    }
+
+    /// Builds: cache(keys=[x]) -ByAction-> [hit -> sink, miss -> heavy -> sink]
+    fn cached_program() -> (pipeleon_ir::ProgramGraph, NodeId, NodeId) {
+        let mut b = ProgramBuilder::new();
+        let x = b.field("x");
+        let y = b.field("y");
+        let heavy = b
+            .table("heavy")
+            .key(x, MatchKind::Ternary)
+            .action("mark", vec![Primitive::set(y, 1)])
+            .default_action(0)
+            .entry(TableEntry::with_priority(
+                vec![MatchValue::Ternary {
+                    value: 0,
+                    mask: 0xF,
+                }],
+                0,
+                1,
+            ))
+            .finish();
+        b.set_next(heavy, None);
+        let cache = b
+            .table("cache")
+            .key(x, MatchKind::Exact)
+            .action_nop("hit")
+            .action_nop("miss")
+            .default_action(1)
+            .cache_role(CacheRole::FlowCache)
+            .max_entries(64)
+            .by_action(vec![None, Some(heavy)])
+            .finish();
+        (b.seal(cache).unwrap(), cache, heavy)
+    }
+
+    #[test]
+    fn flow_cache_miss_then_hit() {
+        let (g, cache, _) = cached_program();
+        let y = g.fields.get("y").unwrap();
+        let mut ex = Executor::new(g, params()).unwrap();
+        // First packet: miss -> heavy path (+ insertion).
+        let mut p1 = Packet::with_slots(vec![16, 0]);
+        let r1 = ex.process(&mut p1);
+        assert_eq!(ex.cache_len(cache), 1);
+        // Cache 10 + heavy (1 way ternary -> charged per-pattern 1*10 + 1 prim*2) + insert 20.
+        assert!((r1.latency_ns - 42.0).abs() < 1e-9, "got {}", r1.latency_ns);
+        assert_eq!(p1.get(y), 1);
+        // Second packet, same flow: hit, replays the action.
+        let mut p2 = Packet::with_slots(vec![16, 0]);
+        let r2 = ex.process(&mut p2);
+        assert!((r2.latency_ns - 12.0).abs() < 1e-9, "got {}", r2.latency_ns);
+        assert_eq!(p2.get(y), 1, "replayed action must apply");
+        let prof = ex.take_profile();
+        let stats = prof.cache_stats[&cache];
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn flow_cache_caches_drops() {
+        let mut b = ProgramBuilder::new();
+        let x = b.field("x");
+        let acl = b
+            .table("acl")
+            .key(x, MatchKind::Exact)
+            .action_nop("permit")
+            .action_drop("deny")
+            .entry(TableEntry::new(vec![MatchValue::Exact(5)], 1))
+            .finish();
+        b.set_next(acl, None);
+        let cache = b
+            .table("cache")
+            .key(x, MatchKind::Exact)
+            .action_nop("hit")
+            .action_nop("miss")
+            .default_action(1)
+            .cache_role(CacheRole::FlowCache)
+            .by_action(vec![None, Some(acl)])
+            .finish();
+        let g = b.seal(cache).unwrap();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut p = Packet::with_slots(vec![5]);
+        assert!(ex.process(&mut p).dropped);
+        assert_eq!(ex.cache_len(cache), 1, "drop result must be cached");
+        let mut p = Packet::with_slots(vec![5]);
+        let r = ex.process(&mut p);
+        assert!(r.dropped, "cached drop must replay");
+        // Hit: cache 10 + replayed deny (1 prim) 2 = 12.
+        assert!((r.latency_ns - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_cache_forces_misses() {
+        let (g, cache, _) = cached_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut p = Packet::with_slots(vec![3, 0]);
+        ex.process(&mut p.clone());
+        assert_eq!(ex.cache_len(cache), 1);
+        ex.flush_cache(cache);
+        assert_eq!(ex.cache_len(cache), 0);
+        let r = ex.process(&mut p);
+        assert!(r.latency_ns > 12.0, "must take the miss path again");
+    }
+
+    #[test]
+    fn insertion_rate_limit_drops_insertions() {
+        let (g, cache, _) = cached_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        ex.set_cache_insertion_limit(cache, 0.0); // no insertions allowed
+        for i in 0..10 {
+            let mut p = Packet::with_slots(vec![i, 0]);
+            ex.process(&mut p);
+        }
+        assert_eq!(ex.cache_len(cache), 0);
+        let prof = ex.take_profile();
+        assert_eq!(prof.cache_stats[&cache].misses, 10);
+        assert_eq!(prof.cache_stats[&cache].insertions, 0);
+    }
+
+    #[test]
+    fn memory_tiers_scale_match_cost_only() {
+        use pipeleon_cost::MemoryTier;
+        let (g, acl, rw) = simple_program();
+        let mut p = params();
+        p.tiers.sram_speedup = 2.0;
+        let mut ex = Executor::new(g.clone(), p).unwrap();
+        let base = ex.process(&mut Packet::with_slots(vec![1, 0])).latency_ns;
+        // Promote the rewrite table to SRAM: its match (10) halves to 5.
+        let mut tiers = vec![MemoryTier::Emem; g.id_bound()];
+        tiers[rw.index()] = MemoryTier::Sram;
+        let _ = acl;
+        ex.set_memory_tiers(tiers);
+        let fast = ex.process(&mut Packet::with_slots(vec![1, 0])).latency_ns;
+        assert!((base - fast - 5.0).abs() < 1e-9, "base={base} fast={fast}");
+    }
+
+    #[test]
+    fn deploy_resets_cache_state() {
+        let (g, cache, _) = cached_program();
+        let g2 = g.clone();
+        let mut ex = Executor::new(g, params()).unwrap();
+        let mut p = Packet::with_slots(vec![1, 0]);
+        ex.process(&mut p);
+        assert_eq!(ex.cache_len(cache), 1);
+        ex.deploy(g2).unwrap();
+        assert_eq!(ex.cache_len(cache), 0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # pipeleon-sim — deterministic software SmartNIC emulator
+//!
+//! The measurement substrate of this reproduction, standing in for the
+//! paper's Nvidia BlueField2, Netronome Agilio CX, and BMv2-based emulator
+//! (§5.1). It executes Pipeleon IR programs packet-by-packet in a
+//! run-to-completion model and accounts latency with the same mechanisms
+//! the paper's cost model abstracts: per-hash-table memory accesses for
+//! key matches, per-primitive action costs, branch evaluation, counter
+//! updates, cache insertions, and ASIC↔CPU packet migrations.
+//!
+//! * [`packet`] — flat-slot packets over a program's field space.
+//! * [`engine`] — exact / LPM / ternary / range match engines implemented
+//!   as (multiple) hash tables, reporting how many they probed.
+//! * [`cache`] — an LRU flow-cache with a token-bucket insertion limiter
+//!   (paper §3.2.2 "optimization considerations").
+//! * [`exec`] — the run-to-completion [`Executor`]: walks the program DAG,
+//!   executes actions for real, maintains cache state, honours placements
+//!   (ASIC vs. CPU) with migration costs, and updates P4 counters with
+//!   optional sampling.
+//! * [`nic`] — [`SmartNic`]: multicore dispatch (RSS by flow hash),
+//!   throughput/latency measurement, and the control-plane entry API
+//!   (insert/delete/modify, cache flush).
+//!
+//! Everything is single-threaded and seeded — results are bit-reproducible.
+
+pub mod cache;
+pub mod engine;
+pub mod exec;
+pub mod nic;
+pub mod packet;
+
+pub use cache::{LruCache, RateLimiter};
+pub use engine::{LookupOutcome, MatchEngine};
+pub use exec::{ExecReport, Executor, PacketTrace};
+pub use nic::{BatchStats, NicConfig, SmartNic};
+pub use packet::Packet;

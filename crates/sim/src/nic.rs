@@ -1,0 +1,380 @@
+//! The multicore SmartNIC model: RSS dispatch, line-rate arrival, and
+//! throughput/latency measurement.
+//!
+//! Packets are dispatched to `num_cores` run-to-completion cores by flow
+//! hash (RSS). A batch of `n` packets arrives paced at line rate; the
+//! achieved throughput is `total_bits / max(arrival_time, busiest core's
+//! busy time)`, capping at line rate exactly when the cores keep up — the
+//! same observable the paper's TRex measurements produce.
+
+use crate::exec::{ExecReport, Executor, PacketTrace};
+use crate::packet::Packet;
+use pipeleon_cost::{CostParams, Placement, RuntimeProfile};
+use pipeleon_ir::{IrError, NodeId, ProgramGraph, TableEntry};
+
+/// Measurement configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Wire size used for throughput conversion when a packet does not
+    /// carry its own (§5.1: 512 B everywhere).
+    pub packet_bytes: usize,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        Self {
+            packet_bytes: Packet::DEFAULT_BYTES,
+        }
+    }
+}
+
+/// Aggregate statistics over one measured batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets dropped by the program.
+    pub dropped: u64,
+    /// Mean per-packet latency (ns).
+    pub mean_latency_ns: f64,
+    /// 99th-percentile latency (ns).
+    pub p99_latency_ns: f64,
+    /// Achieved throughput (Gbit/s), capped at line rate.
+    pub throughput_gbps: f64,
+    /// Offered load (Gbit/s) — the line rate.
+    pub offered_gbps: f64,
+    /// Total ASIC↔CPU migrations.
+    pub migrations: u64,
+    /// Total counter updates performed.
+    pub counter_updates: u64,
+}
+
+/// A software SmartNIC: an [`Executor`] behind multicore RSS dispatch.
+///
+/// ```
+/// use pipeleon_cost::CostParams;
+/// use pipeleon_ir::{MatchKind, MatchValue, ProgramBuilder, TableEntry};
+/// use pipeleon_sim::{Packet, SmartNic};
+///
+/// let mut b = ProgramBuilder::new();
+/// let f = b.field("x");
+/// let acl = b
+///     .table("acl")
+///     .key(f, MatchKind::Exact)
+///     .action_nop("permit")
+///     .action_drop("deny")
+///     .entry(TableEntry::new(vec![MatchValue::Exact(13)], 1))
+///     .finish();
+/// let program = b.seal(acl).unwrap();
+///
+/// let mut nic = SmartNic::new(program.clone(), CostParams::bluefield2()).unwrap();
+/// let mut pkt = Packet::new(&program.fields);
+/// pkt.set(f, 13);
+/// assert!(nic.process_one(&mut pkt).dropped);
+///
+/// // Batch measurement at line-rate arrival.
+/// let batch: Vec<Packet> = (0..1000)
+///     .map(|i| {
+///         let mut p = Packet::new(&program.fields);
+///         p.set(f, i);
+///         p
+///     })
+///     .collect();
+/// let stats = nic.measure(batch);
+/// assert_eq!(stats.packets, 1000);
+/// assert!(stats.throughput_gbps > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SmartNic {
+    exec: Executor,
+    config: NicConfig,
+}
+
+impl SmartNic {
+    /// Deploys `graph` on a NIC with the given target parameters.
+    pub fn new(graph: ProgramGraph, params: CostParams) -> Result<Self, IrError> {
+        Ok(Self {
+            exec: Executor::new(graph, params)?,
+            config: NicConfig::default(),
+        })
+    }
+
+    /// Sets the measurement configuration.
+    pub fn with_config(mut self, config: NicConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The deployed program.
+    pub fn graph(&self) -> &ProgramGraph {
+        &self.exec.graph()
+    }
+
+    /// The target parameters.
+    pub fn params(&self) -> &CostParams {
+        self.exec.params()
+    }
+
+    /// Direct access to the executor (placement, instrumentation, caches).
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.exec
+    }
+
+    /// Live-reconfigures the NIC with a new program layout.
+    pub fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        self.exec.deploy(graph)
+    }
+
+    /// Inserts a table entry (control-plane API).
+    pub fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        self.exec.insert_entry(node, entry)
+    }
+
+    /// Removes a table entry by index (control-plane API).
+    pub fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        self.exec.remove_entry(node, index)
+    }
+
+    /// Flushes one flow cache.
+    pub fn flush_cache(&mut self, node: NodeId) {
+        self.exec.flush_cache(node)
+    }
+
+    /// Replaces a table definition in place (see
+    /// [`Executor::replace_table`]).
+    pub fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: pipeleon_ir::Table,
+        next: Option<pipeleon_ir::NextHops>,
+    ) -> Result<(), IrError> {
+        self.exec.replace_table(node, table, next)
+    }
+
+    /// Sets a flow cache's insertion rate limit.
+    pub fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
+        self.exec.set_cache_insertion_limit(node, rate_per_s)
+    }
+
+    /// Enables counter instrumentation with `sample_every` packet sampling.
+    pub fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
+        self.exec.set_instrumentation(enabled, sample_every)
+    }
+
+    /// Sets node placements for heterogeneous execution.
+    pub fn set_placement(&mut self, placement: Vec<Placement>) {
+        self.exec.set_placement(placement)
+    }
+
+    /// Assigns tables to memory tiers (§6 hierarchical-memory extension).
+    pub fn set_memory_tiers(&mut self, tiers: Vec<pipeleon_cost::MemoryTier>) {
+        self.exec.set_memory_tiers(tiers)
+    }
+
+    /// Takes the profile collected since the last call.
+    pub fn take_profile(&mut self) -> RuntimeProfile {
+        self.exec.take_profile()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.exec.now_s
+    }
+
+    /// Processes one packet (single-core semantics; no arrival pacing).
+    pub fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
+        self.exec.process(packet)
+    }
+
+    /// Processes one packet with a trace.
+    pub fn process_one_traced(
+        &mut self,
+        packet: &mut Packet,
+        trace: &mut PacketTrace,
+    ) -> ExecReport {
+        self.exec.process_traced(packet, trace)
+    }
+
+    /// Runs a batch offered at line rate through the multicore NIC and
+    /// reports achieved throughput and latency statistics. Advances the
+    /// simulation clock by the batch's arrival time.
+    pub fn measure<I>(&mut self, packets: I) -> BatchStats
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        let cores = self.exec.params().num_cores.max(1);
+        let line_pps = self.exec.params().line_rate_pps(self.config.packet_bytes);
+        let offered_gbps = self.exec.params().line_rate_gbps;
+        let mut core_busy_ns = vec![0.0f64; cores];
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut dropped = 0u64;
+        let mut migrations = 0u64;
+        let mut counter_updates = 0u64;
+        let mut total_bits = 0.0f64;
+        let batch_start_s = self.exec.now_s;
+        let mut n = 0u64;
+        for mut pkt in packets {
+            // Arrival pacing drives the simulation clock (rate limiters,
+            // phase timing).
+            self.exec.now_s = batch_start_s + n as f64 / line_pps;
+            let core = (pkt.flow_hash() % cores as u64) as usize;
+            let bytes = if pkt.bytes > 0 {
+                pkt.bytes
+            } else {
+                self.config.packet_bytes
+            };
+            let r = self.exec.process(&mut pkt);
+            core_busy_ns[core] += r.latency_ns;
+            latencies.push(r.latency_ns);
+            migrations += r.migrations as u64;
+            counter_updates += r.counter_updates as u64;
+            if r.dropped {
+                dropped += 1;
+            }
+            total_bits += (bytes * 8) as f64;
+            n += 1;
+        }
+        if n == 0 {
+            return BatchStats {
+                packets: 0,
+                dropped: 0,
+                mean_latency_ns: 0.0,
+                p99_latency_ns: 0.0,
+                throughput_gbps: 0.0,
+                offered_gbps,
+                migrations: 0,
+                counter_updates: 0,
+            };
+        }
+        let arrival_ns = n as f64 / line_pps * 1e9;
+        self.exec.now_s = batch_start_s + arrival_ns / 1e9;
+        let busiest_ns = core_busy_ns.iter().cloned().fold(0.0f64, f64::max);
+        let duration_ns = arrival_ns.max(busiest_ns);
+        let throughput_gbps = (total_bits / duration_ns).min(offered_gbps);
+        let mean = latencies.iter().sum::<f64>() / n as f64;
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let p99 = latencies[((n as f64 * 0.99) as usize).min(latencies.len() - 1)];
+        BatchStats {
+            packets: n,
+            dropped,
+            mean_latency_ns: mean,
+            p99_latency_ns: p99,
+            throughput_gbps,
+            offered_gbps,
+            migrations,
+            counter_updates,
+        }
+    }
+
+    /// Convenience: measures the mean per-packet latency of a batch
+    /// without arrival pacing (used for cost-model calibration).
+    pub fn mean_latency<I>(&mut self, packets: I) -> f64
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for mut pkt in packets {
+            sum += self.exec.process(&mut pkt).latency_ns;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::{MatchKind, Primitive, ProgramBuilder};
+
+    fn linear_program(tables: usize) -> ProgramGraph {
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let mut first = None;
+        for i in 0..tables {
+            let t = b
+                .table(format!("t{i}"))
+                .key(f, MatchKind::Exact)
+                .action("a", vec![Primitive::Nop])
+                .finish();
+            first.get_or_insert(t);
+        }
+        b.seal(first.unwrap()).unwrap()
+    }
+
+    fn packets(n: usize) -> Vec<Packet> {
+        (0..n).map(|i| Packet::with_slots(vec![i as u64])).collect()
+    }
+
+    #[test]
+    fn small_program_hits_line_rate() {
+        let mut nic = SmartNic::new(linear_program(2), CostParams::bluefield2()).unwrap();
+        let s = nic.measure(packets(5000));
+        assert_eq!(s.packets, 5000);
+        assert!(
+            (s.throughput_gbps - s.offered_gbps).abs() < 1e-6,
+            "got {} vs offered {}",
+            s.throughput_gbps,
+            s.offered_gbps
+        );
+    }
+
+    #[test]
+    fn large_program_falls_below_line_rate() {
+        let mut nic = SmartNic::new(linear_program(40), CostParams::bluefield2()).unwrap();
+        let s = nic.measure(packets(5000));
+        assert!(
+            s.throughput_gbps < s.offered_gbps * 0.95,
+            "got {} vs offered {}",
+            s.throughput_gbps,
+            s.offered_gbps
+        );
+        assert!(s.mean_latency_ns > 0.0);
+        assert!(s.p99_latency_ns >= s.mean_latency_ns * 0.5);
+    }
+
+    #[test]
+    fn throughput_monotonically_decreases_with_program_size() {
+        let mut prev = f64::INFINITY;
+        for n in [5, 15, 30, 45] {
+            let mut nic = SmartNic::new(linear_program(n), CostParams::bluefield2()).unwrap();
+            let s = nic.measure(packets(3000));
+            assert!(
+                s.throughput_gbps <= prev + 1e-9,
+                "throughput increased with more tables"
+            );
+            prev = s.throughput_gbps;
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_batches() {
+        let mut nic = SmartNic::new(linear_program(2), CostParams::bluefield2()).unwrap();
+        assert_eq!(nic.now_s(), 0.0);
+        nic.measure(packets(1000));
+        let t1 = nic.now_s();
+        assert!(t1 > 0.0);
+        nic.measure(packets(1000));
+        assert!(nic.now_s() > t1);
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let mut nic = SmartNic::new(linear_program(2), CostParams::bluefield2()).unwrap();
+        let s = nic.measure(Vec::new());
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.throughput_gbps, 0.0);
+    }
+
+    #[test]
+    fn mean_latency_matches_process_one() {
+        let mut nic = SmartNic::new(linear_program(3), CostParams::bluefield2()).unwrap();
+        let single = nic.process_one(&mut Packet::with_slots(vec![7])).latency_ns;
+        let mean = nic.mean_latency(packets(100));
+        assert!((single - mean).abs() < 1e-9);
+    }
+}

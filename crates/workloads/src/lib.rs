@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # pipeleon-workloads — programs, profiles, and traffic for experiments
+//!
+//! Everything the paper's evaluation feeds into Pipeleon, rebuilt as
+//! deterministic, seeded generators:
+//!
+//! * [`synth`] — a random P4 program synthesizer with controllable pipelet
+//!   count (PN), pipelet length (PL), match-type mix, action complexity,
+//!   and drop/write behaviour. Substitute for the Gauntlet-based
+//!   synthesizer of §5.2.2 / §5.4.2.
+//! * [`profiles`] — runtime-profile synthesis: random traffic splits over
+//!   a program's branches/actions plus entropy computation over pipelet
+//!   traffic shares (§5.4.3, Appendix A.3).
+//! * [`traffic`] — flow-level packet generation: uniform and Zipf flow
+//!   (locality) samplers and field-targeted value distributions; the
+//!   TRex/trafgen substitute (§5.1), 512 B packets throughout.
+//! * [`trace`] — trace-driven replay: a text format carrying per-packet
+//!   header fields (the pcap-replay substitute).
+//! * [`scenarios`] — the concrete evaluation programs: the ACL+routing
+//!   motivation pipeline (Fig. 2), the four-table microbenchmark pipelets
+//!   (Fig. 9), the service load balancer (§5.3.1), the DASH-style packet
+//!   routing pipeline (§5.3.2), an L2/L3/ACL pipeline, and the
+//!   network-function composition (§5.3.3).
+
+pub mod profiles;
+pub mod scenarios;
+pub mod synth;
+pub mod trace;
+pub mod traffic;
+
+pub use profiles::{entropy, random_profile, ProfileSynthConfig};
+pub use synth::{synthesize, synthesize_diamonds, MatchMix, SynthConfig};
+pub use trace::Trace;
+pub use traffic::{FlowGen, ZipfSampler};

@@ -1,0 +1,231 @@
+//! Flow-level traffic generation: the TRex/trafgen substitute (§5.1).
+//!
+//! Experiments depend on flow statistics — how many distinct flows exist,
+//! how skewed the flow popularity is (locality, which drives cache hit
+//! rates), and which table entries packets select (which drives drop
+//! rates). [`FlowGen`] produces packets over a flow universe with uniform
+//! or Zipf popularity; per-field overrides steer packets into specific
+//! table entries with configured probabilities.
+
+use pipeleon_ir::FieldRef;
+use pipeleon_sim::Packet;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples flow ranks from a Zipf distribution over `n` ranks with
+/// exponent `s` (s = 0 is uniform; larger s is more skewed / more
+/// locality).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler; `n` is clamped to ≥ 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&x).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the universe is empty (never true: clamped to 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A per-field value override applied to a fraction of packets.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldBias {
+    /// The field to override.
+    pub field: FieldRef,
+    /// Value to write.
+    pub value: u64,
+    /// Probability a packet receives the override.
+    pub probability: f64,
+}
+
+/// Deterministic flow-level packet generator.
+#[derive(Debug, Clone)]
+pub struct FlowGen {
+    /// Fields that receive flow-derived values (5-tuple-ish).
+    pub flow_fields: Vec<FieldRef>,
+    /// Number of distinct flows.
+    pub num_flows: usize,
+    /// Zipf exponent for flow popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Per-field biased overrides (applied after flow fields).
+    pub biases: Vec<FieldBias>,
+    /// Packet wire size in bytes.
+    pub packet_bytes: usize,
+    /// Number of slots packets carry (the program's field-space size).
+    pub slot_count: usize,
+    rng: ChaCha8Rng,
+    zipf: ZipfSampler,
+}
+
+impl FlowGen {
+    /// Creates a generator over `num_flows` flows writing `flow_fields`.
+    pub fn new(slot_count: usize, flow_fields: Vec<FieldRef>, num_flows: usize, seed: u64) -> Self {
+        Self {
+            flow_fields,
+            num_flows: num_flows.max(1),
+            zipf_s: 0.0,
+            biases: Vec::new(),
+            packet_bytes: Packet::DEFAULT_BYTES,
+            slot_count,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            zipf: ZipfSampler::new(num_flows.max(1), 0.0),
+        }
+    }
+
+    /// Sets Zipf skew (rebuilds the sampler).
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        self.zipf_s = s;
+        self.zipf = ZipfSampler::new(self.num_flows, s);
+        self
+    }
+
+    /// Adds a biased field override.
+    pub fn with_bias(mut self, bias: FieldBias) -> Self {
+        self.biases.push(bias);
+        self
+    }
+
+    /// Generates the next packet.
+    pub fn next_packet(&mut self) -> Packet {
+        let flow = self.zipf.sample(&mut self.rng) as u64;
+        let mut p = Packet::with_slots(vec![0; self.slot_count]);
+        p.bytes = self.packet_bytes;
+        // Distinct per-field values derived from the flow id so multi-field
+        // keys stay correlated within a flow.
+        for (i, &f) in self.flow_fields.iter().enumerate() {
+            p.set(
+                f,
+                flow.wrapping_mul(2654435761).wrapping_add(i as u64 * 97) % 1_000_003,
+            );
+        }
+        for b in &self.biases {
+            if self.rng.gen_bool(b.probability.clamp(0.0, 1.0)) {
+                p.set(b.field, b.value);
+            }
+        }
+        p
+    }
+
+    /// Generates a batch of `n` packets.
+    pub fn batch(&mut self, n: usize) -> Vec<Packet> {
+        (0..n).map(|_| self.next_packet()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2600).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut top10 = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        assert!(
+            top10 as f64 / n as f64 > 0.6,
+            "top-10 share = {}",
+            top10 as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn flow_gen_respects_flow_universe() {
+        let fields = vec![FieldRef(0), FieldRef(1)];
+        let mut g = FlowGen::new(4, fields, 5, 42);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let p = g.next_packet();
+            distinct.insert((p.get(FieldRef(0)), p.get(FieldRef(1))));
+        }
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn flow_fields_are_correlated_within_flow() {
+        let mut g = FlowGen::new(4, vec![FieldRef(0), FieldRef(1)], 3, 7);
+        let mut map = std::collections::HashMap::new();
+        for _ in 0..500 {
+            let p = g.next_packet();
+            let prev = map.insert(p.get(FieldRef(0)), p.get(FieldRef(1)));
+            if let Some(v) = prev {
+                assert_eq!(v, p.get(FieldRef(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn bias_applies_at_configured_rate() {
+        let mut g = FlowGen::new(4, vec![FieldRef(0)], 1000, 11).with_bias(FieldBias {
+            field: FieldRef(3),
+            value: 0xDEAD,
+            probability: 0.3,
+        });
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| g.next_packet().get(FieldRef(3)) == 0xDEAD)
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mk = || {
+            let mut g = FlowGen::new(4, vec![FieldRef(0)], 50, 5).with_zipf(0.9);
+            g.batch(100)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,29 @@
+//! # Pipeleon suite
+//!
+//! Umbrella crate for the Rust reproduction of *"Unleashing SmartNIC Packet
+//! Processing Performance in P4"* (SIGCOMM 2023). It re-exports the public
+//! API of every crate in the workspace so that examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`ir`] — the P4 program intermediate representation (tables, actions,
+//!   branches, program DAG, dependency analysis, BMv2-style JSON).
+//! * [`cost`] — the approximate SmartNIC performance cost model.
+//! * [`sim`] — the deterministic software SmartNIC emulator.
+//! * [`workloads`] — program/profile/traffic synthesizers and the paper's
+//!   scenario programs.
+//! * [`opt`] — the Pipeleon optimizer itself (pipelets, top-k detection,
+//!   reorder/cache/merge, knapsack plan search, heterogeneous partitioning).
+//! * [`runtime`] — the runtime controller (profiling loop, change detection,
+//!   entry-API mapping).
+//! * [`p4`] — the P4-lite textual frontend (parse pipelines written in a
+//!   P4-16-flavoured DSL).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use pipeleon as opt;
+pub use pipeleon_cost as cost;
+pub use pipeleon_ir as ir;
+pub use pipeleon_p4 as p4;
+pub use pipeleon_runtime as runtime;
+pub use pipeleon_sim as sim;
+pub use pipeleon_workloads as workloads;

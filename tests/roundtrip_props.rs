@@ -1,0 +1,132 @@
+//! Property tests on serialization and the match engines.
+
+use pipeleon_ir::json::{from_json_string, to_json_string};
+use pipeleon_ir::{MatchKey, MatchKind, MatchValue, Table, TableEntry};
+use pipeleon_sim::engine::{oracle_lookup, MatchEngine};
+use pipeleon_sim::Packet;
+use pipeleon_workloads::synth::{synthesize, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// JSON round-trips are lossless and stable for any synthesizable
+    /// program.
+    #[test]
+    fn json_round_trip_is_lossless(
+        seed in 0u64..100_000,
+        pipelets in 1usize..10,
+        pipelet_len in 1usize..5,
+    ) {
+        let g = synthesize(&SynthConfig {
+            pipelets,
+            pipelet_len,
+            seed,
+            ..SynthConfig::default()
+        });
+        let s1 = to_json_string(&g).expect("serializes");
+        let g2 = from_json_string(&s1).expect("parses");
+        let s2 = to_json_string(&g2).expect("re-serializes");
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+    }
+
+    /// The hash-table match engine agrees with the linear-scan oracle on
+    /// ternary tables with distinct priorities.
+    #[test]
+    fn ternary_engine_matches_oracle(
+        entries in prop::collection::vec((any::<u8>(), any::<u8>(), 0usize..2), 1..24),
+        probes in prop::collection::vec(any::<u8>(), 32),
+    ) {
+        let mut t = Table::new("t");
+        t.keys = vec![MatchKey { field: pipeleon_ir::FieldRef(0), kind: MatchKind::Ternary }];
+        t.actions = vec![
+            pipeleon_ir::Action::nop("a0"),
+            pipeleon_ir::Action::nop("a1"),
+        ];
+        for (i, (v, m, a)) in entries.iter().enumerate() {
+            // Unique priorities make resolution fully deterministic.
+            t.entries.push(TableEntry::with_priority(
+                vec![MatchValue::Ternary { value: *v as u64, mask: *m as u64 }],
+                *a,
+                i as i32,
+            ));
+        }
+        let engine = MatchEngine::build(&t);
+        for p in probes {
+            let pkt = Packet::with_slots(vec![p as u64]);
+            let fast = engine.lookup(&t, &pkt);
+            let (slow_entry, slow_action) = oracle_lookup(&t, &pkt);
+            prop_assert_eq!(fast.entry, slow_entry);
+            prop_assert_eq!(fast.action, slow_action);
+        }
+    }
+
+    /// LPM resolution picks the longest matching prefix, like the oracle.
+    #[test]
+    fn lpm_engine_matches_oracle(
+        entries in prop::collection::vec((any::<u16>(), 0u8..17, 0usize..2), 1..16),
+        probes in prop::collection::vec(any::<u16>(), 32),
+    ) {
+        let mut t = Table::new("t");
+        t.keys = vec![MatchKey { field: pipeleon_ir::FieldRef(0), kind: MatchKind::Lpm }];
+        t.actions = vec![
+            pipeleon_ir::Action::nop("a0"),
+            pipeleon_ir::Action::nop("a1"),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (v, plen, a) in &entries {
+            // Left-align 16-bit values into the top bits so prefix_len is
+            // meaningful; dedupe identical (masked value, plen) pairs to
+            // avoid ambiguous duplicates.
+            let value = (*v as u64) << 48;
+            let mask = pipeleon_ir::prefix_mask(*plen);
+            if seen.insert((value & mask, *plen)) {
+                t.entries.push(TableEntry::new(
+                    vec![MatchValue::Lpm { value, prefix_len: *plen }],
+                    *a,
+                ));
+            }
+        }
+        let engine = MatchEngine::build(&t);
+        for p in probes {
+            let pkt = Packet::with_slots(vec![(p as u64) << 48]);
+            let fast = engine.lookup(&t, &pkt);
+            let (slow_entry, _) = oracle_lookup(&t, &pkt);
+            // Entry identity may differ only among equal-prefix ties,
+            // which deduping removed; so entries must agree.
+            prop_assert_eq!(fast.entry, slow_entry);
+        }
+    }
+
+    /// Synthesized programs always validate and partition cleanly.
+    #[test]
+    fn synthesized_programs_always_partition(
+        seed in 0u64..100_000,
+        pipelets in 1usize..12,
+        max_len in 1usize..8,
+    ) {
+        let g = synthesize(&SynthConfig {
+            pipelets,
+            seed,
+            ..SynthConfig::default()
+        });
+        g.validate().expect("valid");
+        let parts = pipeleon::pipelet::partition(&g, max_len);
+        prop_assert!(!parts.is_empty());
+        // Every reachable table appears in exactly one pipelet.
+        let reach = g.reachable();
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            prop_assert!(p.tables.len() <= max_len.max(1) || p.switch_case);
+            for t in &p.tables {
+                prop_assert!(seen.insert(*t), "table {t} in two pipelets");
+            }
+        }
+        let reachable_tables = g
+            .tables()
+            .filter(|(n, _)| reach[n.id.index()])
+            .count();
+        prop_assert_eq!(seen.len(), reachable_tables);
+    }
+}
