@@ -1,0 +1,95 @@
+//! Throughput scaling of the sharded datapath: emulator packets/sec
+//! (wall clock) of [`ShardedNic`] on the DASH routing pipeline as the
+//! worker count grows, against the single-threaded [`SmartNic`] baseline.
+//!
+//! The *simulated* Gbps is worker-invariant by design (results merge
+//! deterministically); what scales is how fast the emulator itself chews
+//! through packets. Expect >1.5× at 4 workers on hosts with ≥4 CPUs —
+//! the `host_cpus` column says how much hardware parallelism was
+//! actually available for a given run.
+//!
+//! Also cross-checks determinism on every row: each worker count must
+//! report batch statistics and a merged profile identical to the
+//! 1-worker run.
+
+use pipeleon_bench::{banner, f, header, row};
+use pipeleon_cost::CostParams;
+use pipeleon_sim::{BatchStats, Packet, ShardedNic};
+use pipeleon_workloads::scenarios::DashRouting;
+use std::time::Instant;
+
+const PACKETS: usize = 60_000;
+const FLOWS: usize = 2_000;
+const REPS: u32 = 3;
+
+fn batch(dash: &DashRouting) -> Vec<Packet> {
+    dash.traffic(&[0.05, 0.05, 0.05], FLOWS, 1.1, 42)
+        .batch(PACKETS)
+}
+
+fn run(dash: &DashRouting, workers: usize) -> (f64, BatchStats, u64) {
+    let params = CostParams::bluefield2();
+    let mut nic = ShardedNic::new(dash.graph.clone(), params, workers).unwrap();
+    nic.set_instrumentation(true, 16);
+    // Warm up code paths once, then time REPS full batches.
+    nic.measure(batch(dash));
+    let start = Instant::now();
+    let mut stats = None;
+    for _ in 0..REPS {
+        stats = Some(nic.measure(batch(dash)));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let profile = nic.take_profile();
+    // Cheap determinism fingerprint: every edge counter plus totals.
+    let edge_sum: u64 = profile.edges().map(|(_, n)| n).sum();
+    let fingerprint = profile
+        .total_packets
+        .wrapping_mul(1_000_003)
+        .wrapping_add(edge_sum);
+    (
+        (PACKETS as f64 * REPS as f64) / elapsed,
+        stats.unwrap(),
+        fingerprint,
+    )
+}
+
+fn main() {
+    banner(
+        "sharded_scaling",
+        "emulator throughput vs worker count (DASH routing)",
+    );
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# host_cpus: {cpus}");
+    header(&[
+        "workers",
+        "emulator_pps",
+        "speedup_vs_1",
+        "sim_gbps",
+        "mean_latency_ns",
+        "identical_to_1_worker",
+    ]);
+    let dash = DashRouting::build();
+    let mut base_pps = 0.0;
+    let mut base: Option<(BatchStats, u64)> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let (pps, stats, fingerprint) = run(&dash, workers);
+        if workers == 1 {
+            base_pps = pps;
+            base = Some((stats, fingerprint));
+        }
+        let (base_stats, base_fp) = base.as_ref().unwrap();
+        let identical = stats == *base_stats && fingerprint == *base_fp;
+        assert!(
+            identical,
+            "worker count {workers} changed merged results (bit-reproducibility broken)"
+        );
+        row(&[
+            workers.to_string(),
+            f(pps),
+            f(pps / base_pps),
+            f(stats.throughput_gbps),
+            f(stats.mean_latency_ns),
+            identical.to_string(),
+        ]);
+    }
+}

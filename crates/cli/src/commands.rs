@@ -8,7 +8,7 @@ use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
 use pipeleon_cost::{Calibrator, CostModel, CostParams, ResourceModel, RuntimeProfile};
 use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::ProgramGraph;
-use pipeleon_sim::{Packet, SmartNic};
+use pipeleon_sim::{Packet, ShardedNic, SmartNic};
 use pipeleon_workloads::traffic::FlowGen;
 
 const USAGE: &str = "\
@@ -19,7 +19,7 @@ USAGE:
            [--top-k F] [--memory BYTES] [--updates RATE] [-o out.json]
   pipeleon simulate <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--trace t.trace]
-           [--profile-out p.json]
+           [--workers N] [--profile-out p.json]
   pipeleon inspect  <program> [--target T] [--profile p.json]
   pipeleon build    <program.p4> [-o out.json]
   pipeleon calibrate [--target T]
@@ -142,8 +142,7 @@ fn simulate(args: &Args) -> Result<(), String> {
     let flows = args.get_usize("flows", 1000)?;
     let zipf = args.get_f64("zipf", 0.0)?;
     let seed = args.get_usize("seed", 1)? as u64;
-    let mut nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
-    nic.set_instrumentation(true, 1);
+    let workers = args.get_usize("workers", 1)?;
     let batch: Vec<Packet> = match args.get("trace") {
         Some(path) => {
             // Trace-driven replay, looped to reach the requested count.
@@ -173,7 +172,20 @@ fn simulate(args: &Args) -> Result<(), String> {
                 .batch(packets)
         }
     };
-    let stats = nic.measure(batch);
+    // The sharded datapath merges results deterministically, so any
+    // worker count reports bit-identical statistics; >1 exercises the
+    // parallel path (and finishes sooner on big batches).
+    let (stats, profile) = if workers > 1 {
+        let mut nic = ShardedNic::new(g.clone(), params, workers).map_err(|e| e.to_string())?;
+        nic.set_instrumentation(true, 1);
+        let stats = nic.measure(batch);
+        (stats, nic.take_profile())
+    } else {
+        let mut nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
+        nic.set_instrumentation(true, 1);
+        let stats = nic.measure(batch);
+        (stats, nic.take_profile())
+    };
     println!("packets:           {}", stats.packets);
     println!("dropped:           {}", stats.dropped);
     println!("mean latency (ns): {:.1}", stats.mean_latency_ns);
@@ -183,7 +195,6 @@ fn simulate(args: &Args) -> Result<(), String> {
         stats.throughput_gbps, stats.offered_gbps
     );
     if let Some(path) = args.get("profile-out") {
-        let profile = nic.take_profile();
         let doc = profile_doc::from_profile(&profile, &g);
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -376,6 +387,41 @@ mod tests {
         assert_eq!(g.tables().count(), 1);
         // And optimize/simulate accept the .p4 directly.
         run(&v(&["simulate", src.to_str().unwrap(), "--packets", "500"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_workers_flag_is_bit_reproducible() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test5_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let single = dir.join("single.json");
+        let sharded = dir.join("sharded.json");
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--profile-out",
+            single.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--workers",
+            "4",
+            "--profile-out",
+            sharded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&single).unwrap(),
+            std::fs::read_to_string(&sharded).unwrap(),
+            "sharded profile must be byte-identical to single-threaded"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

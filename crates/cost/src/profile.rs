@@ -285,6 +285,67 @@ impl RuntimeProfile {
         self.entry_update_rates.values().sum()
     }
 
+    /// True when nothing has been recorded: no packets, counters, rates,
+    /// cache statistics, or hints. Empty profiles act as the identity of
+    /// [`RuntimeProfile::merge`] (their `window_s` is ignored).
+    pub fn is_empty(&self) -> bool {
+        self.total_packets == 0
+            && self.edge_counts.is_empty()
+            && self.action_counts.is_empty()
+            && self.entry_update_rates.is_empty()
+            && self.cache_stats.is_empty()
+            && self.distinct_keys.is_empty()
+            && self.cache_hit_hints.is_empty()
+    }
+
+    /// Merges another profile shard into this one (sharded datapaths
+    /// collect one profile per worker; the merged profile is what a
+    /// single instrumentation point would have observed).
+    ///
+    /// Semantics, chosen so the operation is commutative, associative,
+    /// and has [`RuntimeProfile::empty`] as identity:
+    /// - packet totals, edge counters, action counters, cache statistics,
+    ///   and entry-update rates **sum** per key;
+    /// - `distinct_keys` **sum** per table — an upper bound, since shards
+    ///   cannot see each other's key sets (a sharded NIC that tracks raw
+    ///   key sets should overwrite these with exact union counts);
+    /// - `cache_hit_hints` union, keeping the **max** rate on conflicts;
+    /// - `window_s` is the **max** of both windows (shards cover the same
+    ///   wall-clock window, not consecutive ones); an empty side's window
+    ///   is ignored.
+    pub fn merge(&mut self, other: &RuntimeProfile) {
+        if !other.is_empty() {
+            if self.is_empty() {
+                self.window_s = other.window_s;
+            } else {
+                self.window_s = self.window_s.max(other.window_s);
+            }
+        }
+        self.total_packets += other.total_packets;
+        for (&edge, &n) in &other.edge_counts {
+            *self.edge_counts.entry(edge).or_insert(0) += n;
+        }
+        for (&key, &n) in &other.action_counts {
+            *self.action_counts.entry(key).or_insert(0) += n;
+        }
+        for (&node, &rate) in &other.entry_update_rates {
+            *self.entry_update_rates.entry(node).or_insert(0.0) += rate;
+        }
+        for (&node, s) in &other.cache_stats {
+            let e = self.cache_stats.entry(node).or_default();
+            e.hits += s.hits;
+            e.misses += s.misses;
+            e.insertions += s.insertions;
+        }
+        for (&node, &n) in &other.distinct_keys {
+            *self.distinct_keys.entry(node).or_insert(0) += n;
+        }
+        for (tables, &rate) in &other.cache_hit_hints {
+            let e = self.cache_hit_hints.entry(tables.clone()).or_insert(rate);
+            *e = e.max(rate);
+        }
+    }
+
     /// Scales all counters by `factor` (used when extrapolating sampled
     /// profiles back to full traffic; §5.4.1 packet sampling).
     pub fn scale_counts(&mut self, factor: u64) {

@@ -2,7 +2,7 @@
 
 use pipeleon_cost::RuntimeProfile;
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
-use pipeleon_sim::SmartNic;
+use pipeleon_sim::{NicBackend, SmartNic};
 
 /// A SmartNIC the controller can deploy programs to and profile.
 pub trait Target {
@@ -34,18 +34,21 @@ pub trait Target {
 }
 
 /// [`Target`] wrapper for the software emulator, with configurable
-/// reconfiguration downtime.
+/// reconfiguration downtime. Generic over the datapath backend: the
+/// default [`SmartNic`] is single-threaded; a
+/// [`ShardedNic`](pipeleon_sim::ShardedNic) runs the same programs over
+/// parallel worker shards with deterministically merged profiles.
 #[derive(Debug)]
-pub struct SimTarget {
+pub struct SimTarget<N: NicBackend = SmartNic> {
     /// The wrapped NIC.
-    pub nic: SmartNic,
+    pub nic: N,
     /// Downtime per reconfiguration in seconds.
     pub downtime_s: f64,
 }
 
-impl SimTarget {
+impl<N: NicBackend> SimTarget<N> {
     /// A live-reconfigurable target (BlueField2-style).
-    pub fn live(nic: SmartNic) -> Self {
+    pub fn live(nic: N) -> Self {
         Self {
             nic,
             downtime_s: 0.0,
@@ -53,12 +56,12 @@ impl SimTarget {
     }
 
     /// A reload-based target (Agilio-style) with the given downtime.
-    pub fn reloading(nic: SmartNic, downtime_s: f64) -> Self {
+    pub fn reloading(nic: N, downtime_s: f64) -> Self {
         Self { nic, downtime_s }
     }
 }
 
-impl Target for SimTarget {
+impl<N: NicBackend> Target for SimTarget<N> {
     fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
         self.nic.deploy(graph)
     }

@@ -1,0 +1,121 @@
+//! Abstraction over simulated NIC datapaths.
+//!
+//! [`NicBackend`] is the surface the runtime layer needs from a datapath:
+//! the control-plane entry API, live reconfiguration, profile collection,
+//! and batch measurement. [`SmartNic`] (single-threaded) and
+//! [`crate::ShardedNic`] (multi-worker) both implement it, so a
+//! `SimTarget` can be backed by either interchangeably.
+
+use crate::exec::ExecReport;
+use crate::nic::BatchStats;
+use crate::packet::Packet;
+use crate::SmartNic;
+use pipeleon_cost::{CostParams, RuntimeProfile};
+use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
+
+/// A simulated NIC datapath: program deployment, control-plane entry
+/// management, instrumentation, and line-rate batch measurement.
+pub trait NicBackend {
+    /// The deployed program.
+    fn graph(&self) -> &ProgramGraph;
+
+    /// The target parameters.
+    fn params(&self) -> &CostParams;
+
+    /// Live-reconfigures the datapath with a new program layout.
+    fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError>;
+
+    /// Takes the profile collected since the last call.
+    fn take_profile(&mut self) -> RuntimeProfile;
+
+    /// Inserts a table entry (control-plane API).
+    fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError>;
+
+    /// Removes a table entry by index (control-plane API).
+    fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError>;
+
+    /// Replaces a table definition in place.
+    fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError>;
+
+    /// Flushes one flow cache.
+    fn flush_cache(&mut self, node: NodeId);
+
+    /// Sets a flow cache's insertion rate limit.
+    fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64);
+
+    /// Enables counter instrumentation with `sample_every` packet sampling.
+    fn set_instrumentation(&mut self, enabled: bool, sample_every: u64);
+
+    /// Processes one packet (no arrival pacing).
+    fn process_one(&mut self, packet: &mut Packet) -> ExecReport;
+
+    /// Runs a batch offered at line rate and reports throughput/latency.
+    fn measure_batch(&mut self, packets: Vec<Packet>) -> BatchStats;
+
+    /// Current simulation time in seconds.
+    fn now_s(&self) -> f64;
+}
+
+impl NicBackend for SmartNic {
+    fn graph(&self) -> &ProgramGraph {
+        SmartNic::graph(self)
+    }
+
+    fn params(&self) -> &CostParams {
+        SmartNic::params(self)
+    }
+
+    fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        SmartNic::deploy(self, graph)
+    }
+
+    fn take_profile(&mut self) -> RuntimeProfile {
+        SmartNic::take_profile(self)
+    }
+
+    fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        SmartNic::insert_entry(self, node, entry)
+    }
+
+    fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        SmartNic::remove_entry(self, node, index)
+    }
+
+    fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError> {
+        SmartNic::replace_table(self, node, table, next)
+    }
+
+    fn flush_cache(&mut self, node: NodeId) {
+        SmartNic::flush_cache(self, node)
+    }
+
+    fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
+        SmartNic::set_cache_insertion_limit(self, node, rate_per_s)
+    }
+
+    fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
+        SmartNic::set_instrumentation(self, enabled, sample_every)
+    }
+
+    fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
+        SmartNic::process_one(self, packet)
+    }
+
+    fn measure_batch(&mut self, packets: Vec<Packet>) -> BatchStats {
+        self.measure(packets)
+    }
+
+    fn now_s(&self) -> f64 {
+        SmartNic::now_s(self)
+    }
+}

@@ -109,7 +109,7 @@ impl MatchEngine {
         // LPM: most specific way first so the first hit is the longest
         // prefix. Stable by construction order otherwise.
         if resolve == Resolve::LongestPrefix {
-            ways.sort_by(|a, b| b.specificity.cmp(&a.specificity));
+            ways.sort_by_key(|w| std::cmp::Reverse(w.specificity));
         }
         Self {
             key_fields,

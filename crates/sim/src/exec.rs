@@ -154,6 +154,14 @@ impl Executor {
         self.sample_every = sample_every.max(1);
     }
 
+    /// Overrides the packet sequence number that drives counter sampling.
+    /// A sharded NIC assigns each packet its *global* arrival index before
+    /// execution so the `packet_seq % sample_every` sampling decision is
+    /// identical to a single-threaded run, regardless of worker count.
+    pub fn set_packet_seq(&mut self, seq: u64) {
+        self.packet_seq = seq;
+    }
+
     /// Assigns nodes to ASIC/CPU cores (dense by node id; missing =
     /// ASIC). Costs on CPU nodes scale by `cpu_scale`; placement-crossing
     /// hops pay `l_migration`.
@@ -263,15 +271,30 @@ impl Executor {
     /// Takes the collected (sampled) profile, resetting counters. Cache
     /// hit/miss statistics are merged in (they are maintained unsampled).
     pub fn take_profile(&mut self) -> RuntimeProfile {
+        let (mut p, distinct) = self.take_profile_split();
+        for (node, set) in distinct {
+            p.set_distinct_keys(node, set.len() as u64);
+        }
+        p
+    }
+
+    /// Like [`Executor::take_profile`], but hands back the raw distinct-key
+    /// sets instead of folding them into the profile. A sharded NIC unions
+    /// the sets across workers before counting — summing per-shard counts
+    /// would double-count flows whose packets land on several shards.
+    pub(crate) fn take_profile_split(
+        &mut self,
+    ) -> (
+        RuntimeProfile,
+        HashMap<NodeId, std::collections::HashSet<Vec<u64>>>,
+    ) {
         let mut p = std::mem::take(&mut self.profile);
         if self.instrumented && self.sample_every > 1 {
             p.scale_counts(self.sample_every);
         }
         p.window_s = (self.now_s - self.last_profile_take_s).max(1e-9);
         self.last_profile_take_s = self.now_s;
-        for (node, set) in self.distinct.drain() {
-            p.set_distinct_keys(node, set.len() as u64);
-        }
+        let distinct = std::mem::take(&mut self.distinct);
         for (&node, c) in &mut self.caches {
             p.cache_stats.insert(
                 node,
@@ -285,7 +308,7 @@ impl Executor {
             c.misses = 0;
             c.insertions = 0;
         }
-        p
+        (p, distinct)
     }
 
     /// Peeks at the profile without resetting (counts not rescaled).
@@ -356,7 +379,7 @@ impl Executor {
 
     fn run(&mut self, packet: &mut Packet, mut trace: Option<&mut PacketTrace>) -> ExecReport {
         self.packet_seq += 1;
-        let sampled = self.instrumented && (self.packet_seq % self.sample_every == 0);
+        let sampled = self.instrumented && self.packet_seq.is_multiple_of(self.sample_every);
         if sampled {
             self.profile.total_packets += 1;
         }

@@ -22,17 +22,29 @@
 //! * [`nic`] — [`SmartNic`]: multicore dispatch (RSS by flow hash),
 //!   throughput/latency measurement, and the control-plane entry API
 //!   (insert/delete/modify, cache flush).
+//! * [`sharded`] — [`ShardedNic`]: the same datapath sharded over `N`
+//!   parallel worker threads by flow hash, with deterministic merging of
+//!   per-shard profiles and batch statistics.
+//! * [`backend`] — [`NicBackend`], the datapath trait both NICs
+//!   implement, so runtime targets can be backed by either.
 //!
-//! Everything is single-threaded and seeded — results are bit-reproducible.
+//! Everything is seeded and deterministic — results are bit-reproducible,
+//! including across worker counts: a [`ShardedNic`] merges shard results
+//! in global arrival order, so its output is bit-identical to a
+//! single-threaded [`SmartNic`] run on the same traffic.
 
+pub mod backend;
 pub mod cache;
 pub mod engine;
 pub mod exec;
 pub mod nic;
 pub mod packet;
+pub mod sharded;
 
+pub use backend::NicBackend;
 pub use cache::{LruCache, RateLimiter};
 pub use engine::{LookupOutcome, MatchEngine};
 pub use exec::{ExecReport, Executor, PacketTrace};
-pub use nic::{BatchStats, NicConfig, SmartNic};
+pub use nic::{BatchStats, NicConfig, PacketRecord, SmartNic};
 pub use packet::Packet;
+pub use sharded::ShardedNic;

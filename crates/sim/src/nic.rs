@@ -49,6 +49,89 @@ pub struct BatchStats {
     pub counter_updates: u64,
 }
 
+/// What one packet contributed to a measured batch. [`SmartNic::measure`]
+/// and the sharded datapath both reduce these through
+/// [`BatchStats::from_records`], so N-worker results are bit-identical to
+/// single-threaded ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    /// Global arrival index within the batch (0-based).
+    pub arrival: u64,
+    /// RSS core the packet was dispatched to (must be `< num_cores`).
+    pub core: usize,
+    /// Accounted latency (ns).
+    pub latency_ns: f64,
+    /// Whether the program dropped the packet.
+    pub dropped: bool,
+    /// ASIC↔CPU migrations performed.
+    pub migrations: u64,
+    /// Counter updates performed (after sampling).
+    pub counter_updates: u64,
+    /// Wire size in bits, for throughput conversion.
+    pub bits: f64,
+}
+
+impl BatchStats {
+    /// Reduces per-packet records into batch statistics. `records` must be
+    /// in arrival order: float accumulation order (core busy-time, total
+    /// bits, mean) is fixed by it, which is what makes merged shard
+    /// results bit-reproducible regardless of worker count.
+    pub fn from_records(
+        records: &[PacketRecord],
+        num_cores: usize,
+        line_pps: f64,
+        offered_gbps: f64,
+    ) -> BatchStats {
+        let cores = num_cores.max(1);
+        let n = records.len() as u64;
+        if n == 0 {
+            return BatchStats {
+                packets: 0,
+                dropped: 0,
+                mean_latency_ns: 0.0,
+                p99_latency_ns: 0.0,
+                throughput_gbps: 0.0,
+                offered_gbps,
+                migrations: 0,
+                counter_updates: 0,
+            };
+        }
+        let mut core_busy_ns = vec![0.0f64; cores];
+        let mut latencies: Vec<f64> = Vec::with_capacity(records.len());
+        let mut dropped = 0u64;
+        let mut migrations = 0u64;
+        let mut counter_updates = 0u64;
+        let mut total_bits = 0.0f64;
+        for r in records {
+            core_busy_ns[r.core] += r.latency_ns;
+            latencies.push(r.latency_ns);
+            migrations += r.migrations;
+            counter_updates += r.counter_updates;
+            if r.dropped {
+                dropped += 1;
+            }
+            total_bits += r.bits;
+        }
+        let arrival_ns = n as f64 / line_pps * 1e9;
+        let busiest_ns = core_busy_ns.iter().cloned().fold(0.0f64, f64::max);
+        let duration_ns = arrival_ns.max(busiest_ns);
+        let throughput_gbps = (total_bits / duration_ns).min(offered_gbps);
+        let mean = latencies.iter().sum::<f64>() / n as f64;
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let p99 = latencies[((n as f64 * 0.99) as usize).min(latencies.len() - 1)];
+        BatchStats {
+            packets: n,
+            dropped,
+            mean_latency_ns: mean,
+            p99_latency_ns: p99,
+            throughput_gbps,
+            offered_gbps,
+            migrations,
+            counter_updates,
+        }
+    }
+}
+
 /// A software SmartNIC: an [`Executor`] behind multicore RSS dispatch.
 ///
 /// ```
@@ -107,7 +190,7 @@ impl SmartNic {
 
     /// The deployed program.
     pub fn graph(&self) -> &ProgramGraph {
-        &self.exec.graph()
+        self.exec.graph()
     }
 
     /// The target parameters.
@@ -205,13 +288,8 @@ impl SmartNic {
         let cores = self.exec.params().num_cores.max(1);
         let line_pps = self.exec.params().line_rate_pps(self.config.packet_bytes);
         let offered_gbps = self.exec.params().line_rate_gbps;
-        let mut core_busy_ns = vec![0.0f64; cores];
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut dropped = 0u64;
-        let mut migrations = 0u64;
-        let mut counter_updates = 0u64;
-        let mut total_bits = 0.0f64;
         let batch_start_s = self.exec.now_s;
+        let mut records: Vec<PacketRecord> = Vec::new();
         let mut n = 0u64;
         for mut pkt in packets {
             // Arrival pacing drives the simulation clock (rate limiters,
@@ -224,46 +302,22 @@ impl SmartNic {
                 self.config.packet_bytes
             };
             let r = self.exec.process(&mut pkt);
-            core_busy_ns[core] += r.latency_ns;
-            latencies.push(r.latency_ns);
-            migrations += r.migrations as u64;
-            counter_updates += r.counter_updates as u64;
-            if r.dropped {
-                dropped += 1;
-            }
-            total_bits += (bytes * 8) as f64;
+            records.push(PacketRecord {
+                arrival: n,
+                core,
+                latency_ns: r.latency_ns,
+                dropped: r.dropped,
+                migrations: r.migrations as u64,
+                counter_updates: r.counter_updates as u64,
+                bits: (bytes * 8) as f64,
+            });
             n += 1;
         }
-        if n == 0 {
-            return BatchStats {
-                packets: 0,
-                dropped: 0,
-                mean_latency_ns: 0.0,
-                p99_latency_ns: 0.0,
-                throughput_gbps: 0.0,
-                offered_gbps,
-                migrations: 0,
-                counter_updates: 0,
-            };
+        if n > 0 {
+            let arrival_ns = n as f64 / line_pps * 1e9;
+            self.exec.now_s = batch_start_s + arrival_ns / 1e9;
         }
-        let arrival_ns = n as f64 / line_pps * 1e9;
-        self.exec.now_s = batch_start_s + arrival_ns / 1e9;
-        let busiest_ns = core_busy_ns.iter().cloned().fold(0.0f64, f64::max);
-        let duration_ns = arrival_ns.max(busiest_ns);
-        let throughput_gbps = (total_bits / duration_ns).min(offered_gbps);
-        let mean = latencies.iter().sum::<f64>() / n as f64;
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
-        let p99 = latencies[((n as f64 * 0.99) as usize).min(latencies.len() - 1)];
-        BatchStats {
-            packets: n,
-            dropped,
-            mean_latency_ns: mean,
-            p99_latency_ns: p99,
-            throughput_gbps,
-            offered_gbps,
-            migrations,
-            counter_updates,
-        }
+        BatchStats::from_records(&records, cores, line_pps, offered_gbps)
     }
 
     /// Convenience: measures the mean per-packet latency of a batch

@@ -1,0 +1,440 @@
+//! The sharded multi-worker datapath.
+//!
+//! [`ShardedNic`] RSS-hashes packets by flow key onto `N` worker shards,
+//! each owning a private [`Executor`] clone with its own runtime-profile
+//! shard. Batches execute in parallel under `std::thread::scope`, and the
+//! merge back to a single [`RuntimeProfile`] / [`BatchStats`] is
+//! deterministic: results are bit-identical to a single-threaded
+//! [`SmartNic`](crate::SmartNic) run, regardless of worker count.
+//!
+//! Three mechanisms make the merge exact:
+//!
+//! 1. **Global arrival indices.** Before a worker executes a packet it
+//!    sets the shard executor's clock to the packet's *global* arrival
+//!    time (`batch_start + gidx / line_pps`) and its packet sequence
+//!    number to the global index, so the `packet_seq % sample_every`
+//!    counter-sampling decision and every rate-limiter check match the
+//!    single-threaded schedule.
+//! 2. **A shared reducer.** Workers return [`PacketRecord`]s; the parent
+//!    sorts them by global index and feeds them through the exact
+//!    [`BatchStats::from_records`] reducer `SmartNic::measure` uses, so
+//!    float accumulation order is identical.
+//! 3. **Mergeable profiles.** `take_profile` folds shard profiles with
+//!    [`RuntimeProfile::merge`] (counters sum per key) and then overwrites
+//!    the distinct-key estimates with exact cross-shard unions.
+//!
+//! Control-plane operations (`insert_entry`, `remove_entry`,
+//! `replace_table`, `deploy`, cache management) fan out to every shard so
+//! all workers always run the same program.
+//!
+//! Caveat: flow-cache *runtime state* is shard-local. Each shard has its
+//! own LRU of the configured capacity and its own insertion rate limiter,
+//! so under eviction or rate-limit pressure a sharded run can diverge
+//! from a single-threaded one (more aggregate capacity, more aggregate
+//! insertion budget). Equivalence holds exactly for programs without flow
+//! caches, and for cached programs whose working set and insertion rate
+//! stay under the per-shard limits.
+
+use crate::backend::NicBackend;
+use crate::exec::{ExecReport, Executor};
+use crate::nic::{BatchStats, NicConfig, PacketRecord};
+use crate::packet::Packet;
+use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
+use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
+use std::collections::{HashMap, HashSet};
+
+/// A software SmartNIC whose datapath is sharded over `N` parallel
+/// workers by flow hash (RSS), with deterministic result merging.
+#[derive(Debug)]
+pub struct ShardedNic {
+    execs: Vec<Executor>,
+    config: NicConfig,
+    /// Global packet sequence number (drives counter sampling).
+    seq: u64,
+    /// Global simulation clock in seconds.
+    now_s: f64,
+    /// Clock value at the last `take_profile` (profile window start).
+    last_take_s: f64,
+}
+
+impl ShardedNic {
+    /// Deploys `graph` on a NIC with `workers` parallel shards (clamped
+    /// to at least 1), each owning a private executor.
+    pub fn new(graph: ProgramGraph, params: CostParams, workers: usize) -> Result<Self, IrError> {
+        let workers = workers.max(1);
+        let mut execs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            execs.push(Executor::new(graph.clone(), params.clone())?);
+        }
+        Ok(Self {
+            execs,
+            config: NicConfig::default(),
+            seq: 0,
+            now_s: 0.0,
+            last_take_s: 0.0,
+        })
+    }
+
+    /// Sets the measurement configuration.
+    pub fn with_config(mut self, config: NicConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Number of worker shards.
+    pub fn num_workers(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// The deployed program (identical on every shard).
+    pub fn graph(&self) -> &ProgramGraph {
+        self.execs[0].graph()
+    }
+
+    /// Every shard's deployed program, in shard order. Control-plane
+    /// fan-out keeps these identical; tests assert it.
+    pub fn shard_graphs(&self) -> impl Iterator<Item = &ProgramGraph> + '_ {
+        self.execs.iter().map(|e| e.graph())
+    }
+
+    /// The target parameters.
+    pub fn params(&self) -> &CostParams {
+        self.execs[0].params()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Live-reconfigures every shard with a new program layout.
+    pub fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        let mut out = Ok(());
+        for exec in &mut self.execs {
+            if let Err(e) = exec.deploy(graph.clone()) {
+                out = Err(e);
+            }
+        }
+        out
+    }
+
+    /// Inserts a table entry on every shard (control-plane API). All
+    /// shards hold identical graphs, so the operation either succeeds or
+    /// fails identically everywhere; the last shard's result is returned.
+    pub fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        let mut out = Ok(());
+        for exec in &mut self.execs {
+            if let Err(e) = exec.insert_entry(node, entry.clone()) {
+                out = Err(e);
+            }
+        }
+        out
+    }
+
+    /// Removes a table entry by index on every shard (control-plane API).
+    pub fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        let mut out = Err(IrError::UnknownNode(node));
+        for exec in &mut self.execs {
+            out = exec.remove_entry(node, index);
+        }
+        out
+    }
+
+    /// Replaces a table definition in place on every shard.
+    pub fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError> {
+        let mut out = Ok(());
+        for exec in &mut self.execs {
+            if let Err(e) = exec.replace_table(node, table.clone(), next.clone()) {
+                out = Err(e);
+            }
+        }
+        out
+    }
+
+    /// Flushes one flow cache on every shard.
+    pub fn flush_cache(&mut self, node: NodeId) {
+        for exec in &mut self.execs {
+            exec.flush_cache(node);
+        }
+    }
+
+    /// Total live entries in a flow cache's runtime state across shards.
+    pub fn cache_len(&self, node: NodeId) -> usize {
+        self.execs.iter().map(|e| e.cache_len(node)).sum()
+    }
+
+    /// Sets a flow cache's insertion rate limit on every shard (each
+    /// shard gets the full budget — see the module docs caveat).
+    pub fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
+        for exec in &mut self.execs {
+            exec.set_cache_insertion_limit(node, rate_per_s);
+        }
+    }
+
+    /// Enables counter instrumentation with `sample_every` packet
+    /// sampling on every shard.
+    pub fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
+        for exec in &mut self.execs {
+            exec.set_instrumentation(enabled, sample_every);
+        }
+    }
+
+    /// Sets node placements on every shard.
+    pub fn set_placement(&mut self, placement: Vec<Placement>) {
+        for exec in &mut self.execs {
+            exec.set_placement(placement.clone());
+        }
+    }
+
+    /// Assigns tables to memory tiers on every shard.
+    pub fn set_memory_tiers(&mut self, tiers: Vec<MemoryTier>) {
+        for exec in &mut self.execs {
+            exec.set_memory_tiers(tiers.clone());
+        }
+    }
+
+    /// Processes one packet on the shard its flow hashes to (no arrival
+    /// pacing). Uses the global packet sequence number, so sampling
+    /// decisions match a single-threaded run packet-for-packet.
+    pub fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
+        let shard = (packet.flow_hash() % self.execs.len() as u64) as usize;
+        let exec = &mut self.execs[shard];
+        exec.now_s = self.now_s;
+        exec.set_packet_seq(self.seq);
+        self.seq += 1;
+        exec.process(packet)
+    }
+
+    /// Takes the merged profile collected across all shards since the
+    /// last call: counters merge via [`RuntimeProfile::merge`], the
+    /// window is the global clock delta, and distinct-key counts come
+    /// from exact cross-shard unions of the raw key sets.
+    pub fn take_profile(&mut self) -> RuntimeProfile {
+        let mut merged = RuntimeProfile::empty();
+        let mut union: HashMap<NodeId, HashSet<Vec<u64>>> = HashMap::new();
+        for exec in &mut self.execs {
+            let (p, distinct) = exec.take_profile_split();
+            merged.merge(&p);
+            for (node, set) in distinct {
+                union.entry(node).or_default().extend(set);
+            }
+        }
+        for (node, set) in union {
+            merged.set_distinct_keys(node, set.len() as u64);
+        }
+        merged.window_s = (self.now_s - self.last_take_s).max(1e-9);
+        self.last_take_s = self.now_s;
+        merged
+    }
+
+    /// Runs a batch offered at line rate through the sharded datapath and
+    /// reports achieved throughput and latency statistics, bit-identical
+    /// to [`SmartNic::measure`](crate::SmartNic::measure) on the same
+    /// traffic (modulo the flow-cache caveat in the module docs).
+    /// Advances the simulation clock by the batch's arrival time.
+    pub fn measure<I>(&mut self, packets: I) -> BatchStats
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        let cores = self.params().num_cores.max(1);
+        let line_pps = self.params().line_rate_pps(self.config.packet_bytes);
+        let offered_gbps = self.params().line_rate_gbps;
+        let default_bytes = self.config.packet_bytes;
+        let batch_start_s = self.now_s;
+        let base_seq = self.seq;
+        let nw = self.execs.len();
+
+        // RSS: partition the batch by flow hash, tagging each packet with
+        // its global arrival index.
+        let mut shards: Vec<Vec<(u64, Packet)>> = (0..nw).map(|_| Vec::new()).collect();
+        let mut n = 0u64;
+        for pkt in packets {
+            let shard = (pkt.flow_hash() % nw as u64) as usize;
+            shards[shard].push((n, pkt));
+            n += 1;
+        }
+
+        let mut records: Vec<PacketRecord> = Vec::with_capacity(n as usize);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (exec, work) in self.execs.iter_mut().zip(shards) {
+                if work.is_empty() {
+                    continue;
+                }
+                handles.push(s.spawn(move || {
+                    let mut out = Vec::with_capacity(work.len());
+                    for (gidx, mut pkt) in work {
+                        // Replay the global single-threaded schedule on
+                        // this shard: clock and sequence number are the
+                        // packet's global arrival position.
+                        exec.now_s = batch_start_s + gidx as f64 / line_pps;
+                        exec.set_packet_seq(base_seq + gidx);
+                        let core = (pkt.flow_hash() % cores as u64) as usize;
+                        let bytes = if pkt.bytes > 0 {
+                            pkt.bytes
+                        } else {
+                            default_bytes
+                        };
+                        let r = exec.process(&mut pkt);
+                        out.push(PacketRecord {
+                            arrival: gidx,
+                            core,
+                            latency_ns: r.latency_ns,
+                            dropped: r.dropped,
+                            migrations: r.migrations as u64,
+                            counter_updates: r.counter_updates as u64,
+                            bits: (bytes * 8) as f64,
+                        });
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                records.extend(h.join().expect("shard worker panicked"));
+            }
+        });
+        records.sort_unstable_by_key(|r| r.arrival);
+
+        self.seq = base_seq + n;
+        if n > 0 {
+            let arrival_ns = n as f64 / line_pps * 1e9;
+            self.now_s = batch_start_s + arrival_ns / 1e9;
+        }
+        // Leave every shard's clock and sequence at the batch end so
+        // subsequent direct executor access observes a consistent state.
+        for exec in &mut self.execs {
+            exec.now_s = self.now_s;
+            exec.set_packet_seq(self.seq);
+        }
+        BatchStats::from_records(&records, cores, line_pps, offered_gbps)
+    }
+}
+
+impl NicBackend for ShardedNic {
+    fn graph(&self) -> &ProgramGraph {
+        ShardedNic::graph(self)
+    }
+
+    fn params(&self) -> &CostParams {
+        ShardedNic::params(self)
+    }
+
+    fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        ShardedNic::deploy(self, graph)
+    }
+
+    fn take_profile(&mut self) -> RuntimeProfile {
+        ShardedNic::take_profile(self)
+    }
+
+    fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        ShardedNic::insert_entry(self, node, entry)
+    }
+
+    fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        ShardedNic::remove_entry(self, node, index)
+    }
+
+    fn replace_table(
+        &mut self,
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    ) -> Result<(), IrError> {
+        ShardedNic::replace_table(self, node, table, next)
+    }
+
+    fn flush_cache(&mut self, node: NodeId) {
+        ShardedNic::flush_cache(self, node)
+    }
+
+    fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
+        ShardedNic::set_cache_insertion_limit(self, node, rate_per_s)
+    }
+
+    fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
+        ShardedNic::set_instrumentation(self, enabled, sample_every)
+    }
+
+    fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
+        ShardedNic::process_one(self, packet)
+    }
+
+    fn measure_batch(&mut self, packets: Vec<Packet>) -> BatchStats {
+        self.measure(packets)
+    }
+
+    fn now_s(&self) -> f64 {
+        ShardedNic::now_s(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmartNic;
+    use pipeleon_ir::{MatchKind, Primitive, ProgramBuilder};
+
+    fn linear_program(tables: usize) -> ProgramGraph {
+        let mut b = ProgramBuilder::new();
+        let f = b.field("x");
+        let mut first = None;
+        for i in 0..tables {
+            let t = b
+                .table(format!("t{i}"))
+                .key(f, MatchKind::Exact)
+                .action("a", vec![Primitive::Nop])
+                .finish();
+            first.get_or_insert(t);
+        }
+        b.seal(first.unwrap()).unwrap()
+    }
+
+    fn packets(n: usize) -> Vec<Packet> {
+        (0..n).map(|i| Packet::with_slots(vec![i as u64])).collect()
+    }
+
+    #[test]
+    fn matches_single_threaded_batch_stats() {
+        let g = linear_program(8);
+        let params = CostParams::bluefield2();
+        let mut single = SmartNic::new(g.clone(), params.clone()).unwrap();
+        let mut sharded = ShardedNic::new(g, params, 4).unwrap();
+        single.set_instrumentation(true, 16);
+        sharded.set_instrumentation(true, 16);
+        let a = single.measure(packets(4000));
+        let b = sharded.measure(packets(4000));
+        assert_eq!(a, b);
+        assert_eq!(single.take_profile(), sharded.take_profile());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let nic = ShardedNic::new(linear_program(2), CostParams::bluefield2(), 0).unwrap();
+        assert_eq!(nic.num_workers(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let mut nic = ShardedNic::new(linear_program(2), CostParams::bluefield2(), 4).unwrap();
+        let s = nic.measure(Vec::new());
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.throughput_gbps, 0.0);
+        assert_eq!(nic.now_s(), 0.0);
+    }
+
+    #[test]
+    fn clock_advances_with_batches() {
+        let mut nic = ShardedNic::new(linear_program(2), CostParams::bluefield2(), 3).unwrap();
+        nic.measure(packets(1000));
+        let t1 = nic.now_s();
+        assert!(t1 > 0.0);
+        nic.measure(packets(1000));
+        assert!(nic.now_s() > t1);
+    }
+}

@@ -405,8 +405,7 @@ impl L2L3Acl {
     /// Builds the standalone pipeline.
     pub fn build() -> Self {
         let mut b = ProgramBuilder::named("l2l3_acl");
-        let (g, tables, flow_fields) = Self::build_into(&mut b, "");
-        let _ = g;
+        let ((), tables, flow_fields) = Self::build_into(&mut b, "");
         Self {
             graph: b.seal(tables[0]).expect("valid program"),
             tables,

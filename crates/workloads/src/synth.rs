@@ -138,7 +138,7 @@ pub fn synthesize(cfg: &SynthConfig) -> ProgramGraph {
         // Remaining budget splits across a branch into two subtrees.
         let tail: Option<pipeleon_ir::NodeId> = if budget > 1 {
             let remaining = budget - 1;
-            let left = (remaining + 1) / 2;
+            let left = remaining.div_ceil(2);
             let right = remaining - left;
             let lnode = subtree(b, cfg, rng, fields, table_seq, left.max(1));
             let rnode = if right >= 1 {

@@ -68,7 +68,7 @@ fn linear_exact_pipeline_benefits_from_caching() {
     use pipeleon_workloads::scenarios::linear_tables;
     let (g, ids) = linear_tables(12, MatchKind::Ternary, 1, 4);
     let params = CostParams::bluefield2();
-    let fields: Vec<_> = (0..4).map(|i| pipeleon_ir::FieldRef(i)).collect();
+    let fields: Vec<_> = (0..4).map(pipeleon_ir::FieldRef).collect();
     let _ = ids;
     let (before, after) = measure_improvement(&g, &params, |seed| {
         FlowGen::new(g.fields.len(), fields.clone(), 200, seed).batch(15_000)

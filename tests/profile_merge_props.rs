@@ -1,0 +1,144 @@
+//! Property tests for the [`RuntimeProfile::merge`] algebra, which the
+//! sharded datapath relies on: merging per-worker profile shards must be
+//! order-insensitive (commutative, associative), have `empty()` as the
+//! identity, and — for counters recorded on disjoint shards — equal
+//! recording everything into one profile.
+//!
+//! All float-valued fields are generated as small dyadic rationals
+//! (`k/16`) so sums and maxes are exact and equality is meaningful.
+
+use pipeleon_cost::RuntimeProfile;
+use pipeleon_ir::{EdgeRef, NodeId};
+use proptest::prelude::*;
+
+/// Raw generated material for one profile. Node ids stay below 20 so
+/// collisions across profiles (and therefore counter summing) actually
+/// happen.
+#[derive(Debug, Clone)]
+struct Parts {
+    packets: u64,
+    edges: Vec<(u32, u16, u64)>,
+    actions: Vec<(u32, u8, u64)>,
+    rates: Vec<(u32, u64)>,
+    cache: Vec<(u32, (u64, u64, u64))>,
+    distinct: Vec<(u32, u64)>,
+    hints: Vec<(Vec<u32>, u64)>,
+    window_16ths: u64,
+}
+
+fn parts() -> impl Strategy<Value = Parts> {
+    (
+        0u64..5_000,
+        prop::collection::vec((0u32..20, 0u16..4, 1u64..1_000), 0..10),
+        prop::collection::vec((0u32..20, 0u8..4, 1u64..1_000), 0..10),
+        (
+            prop::collection::vec((0u32..20, 1u64..200), 0..6),
+            prop::collection::vec((0u32..20, (0u64..100, 0u64..100, 0u64..100)), 0..6),
+            prop::collection::vec((0u32..20, 1u64..64), 0..6),
+            prop::collection::vec((prop::collection::vec(0u32..20, 1..3), 0u64..=16), 0..4),
+        ),
+        1u64..64,
+    )
+        .prop_map(
+            |(packets, edges, actions, (rates, cache, distinct, hints), window_16ths)| Parts {
+                packets,
+                edges,
+                actions,
+                rates,
+                cache,
+                distinct,
+                hints,
+                window_16ths,
+            },
+        )
+}
+
+fn build(p: &Parts) -> RuntimeProfile {
+    let mut r = RuntimeProfile::empty();
+    r.total_packets = p.packets;
+    for &(n, s, c) in &p.edges {
+        r.record_edge(EdgeRef::new(NodeId(n), s), c);
+    }
+    for &(n, a, c) in &p.actions {
+        r.record_action(NodeId(n), a as usize, c);
+    }
+    for &(n, rate) in &p.rates {
+        // Accumulate like merge does, so duplicate nodes in the
+        // generated list don't make "record once" ambiguous.
+        let prev = r.entry_update_rate(NodeId(n));
+        r.set_entry_update_rate(NodeId(n), prev + rate as f64);
+    }
+    for &(n, (h, m, i)) in &p.cache {
+        let e = r.cache_stats.entry(NodeId(n)).or_default();
+        e.hits += h;
+        e.misses += m;
+        e.insertions += i;
+    }
+    for &(n, d) in &p.distinct {
+        let prev = r.distinct_keys.get(&NodeId(n)).copied().unwrap_or(0);
+        r.set_distinct_keys(NodeId(n), prev + d);
+    }
+    for (tables, rate) in &p.hints {
+        let tables: Vec<NodeId> = tables.iter().map(|&t| NodeId(t)).collect();
+        r.set_cache_hint(tables, *rate as f64 / 16.0);
+    }
+    r.window_s = p.window_16ths as f64 / 16.0;
+    // Empty profiles are merge's identity and their window is ignored;
+    // normalize so equality checks don't see a meaningless window.
+    if r.is_empty() {
+        r.window_s = RuntimeProfile::empty().window_s;
+    }
+    r
+}
+
+fn merged(a: &RuntimeProfile, b: &RuntimeProfile) -> RuntimeProfile {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative(a in parts(), b in parts()) {
+        let (a, b) = (build(&a), build(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in parts(), b in parts(), c in parts()) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn empty_is_identity(a in parts()) {
+        let a = build(&a);
+        prop_assert_eq!(merged(&a, &RuntimeProfile::empty()), a.clone());
+        prop_assert_eq!(merged(&RuntimeProfile::empty(), &a), a);
+    }
+
+    #[test]
+    fn disjoint_shards_equal_one_recorder(
+        events in prop::collection::vec((0u32..20, 0u16..4, 1u64..1_000, 0u8..2), 1..24),
+    ) {
+        // Record the same event stream once into a single profile and
+        // once split across two shard profiles by the event's shard bit;
+        // merging the shards must reproduce the single recorder exactly.
+        let mut whole = RuntimeProfile::empty();
+        let mut shard0 = RuntimeProfile::empty();
+        let mut shard1 = RuntimeProfile::empty();
+        for &(n, s, c, shard) in &events {
+            let edge = EdgeRef::new(NodeId(n), s);
+            whole.record_edge(edge, c);
+            whole.record_action(NodeId(n), s as usize, c);
+            whole.total_packets += 1;
+            let target = if shard == 0 { &mut shard0 } else { &mut shard1 };
+            target.record_edge(edge, c);
+            target.record_action(NodeId(n), s as usize, c);
+            target.total_packets += 1;
+        }
+        prop_assert_eq!(merged(&shard0, &shard1), whole);
+    }
+}

@@ -1,0 +1,161 @@
+//! Determinism/equivalence harness for the sharded datapath: for worker
+//! counts 1, 2, and 8, a [`ShardedNic`] fed the same seeded traffic as a
+//! single-threaded [`SmartNic`] must report bit-identical batch
+//! statistics and a bit-identical merged runtime profile — every edge
+//! counter, every action counter, cache statistics, distinct-key
+//! estimates, and the profile window.
+
+use pipeleon_cost::CostParams;
+use pipeleon_sim::{BatchStats, Packet, ShardedNic, SmartNic};
+use pipeleon_workloads::scenarios::{AclPipeline, DashRouting};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Asserts profile equality counter-by-counter, then wholesale, so a
+/// regression names the first diverging counter instead of dumping two
+/// whole profiles.
+fn assert_profiles_identical(
+    single: &pipeleon_cost::RuntimeProfile,
+    sharded: &pipeleon_cost::RuntimeProfile,
+    ctx: &str,
+) {
+    assert_eq!(
+        single.total_packets, sharded.total_packets,
+        "{ctx}: total_packets"
+    );
+    let mut single_edges: Vec<_> = single.edges().collect();
+    let mut sharded_edges: Vec<_> = sharded.edges().collect();
+    single_edges.sort();
+    sharded_edges.sort();
+    assert_eq!(single_edges, sharded_edges, "{ctx}: edge counters");
+    let mut single_actions: Vec<_> = single.actions().collect();
+    let mut sharded_actions: Vec<_> = sharded.actions().collect();
+    single_actions.sort();
+    sharded_actions.sort();
+    assert_eq!(single_actions, sharded_actions, "{ctx}: action counters");
+    assert_eq!(
+        single.cache_stats, sharded.cache_stats,
+        "{ctx}: cache stats"
+    );
+    assert_eq!(
+        single.distinct_keys, sharded.distinct_keys,
+        "{ctx}: distinct keys"
+    );
+    assert_eq!(
+        single.entry_update_rates, sharded.entry_update_rates,
+        "{ctx}: entry update rates"
+    );
+    assert_eq!(single.window_s, sharded.window_s, "{ctx}: window");
+    assert_eq!(single, sharded, "{ctx}: full profile");
+}
+
+fn assert_stats_identical(a: BatchStats, b: BatchStats, ctx: &str) {
+    // Bitwise, not approximate: the sharded reducer replays the global
+    // arrival order, so even float aggregates must match exactly.
+    assert_eq!(
+        a.mean_latency_ns.to_bits(),
+        b.mean_latency_ns.to_bits(),
+        "{ctx}: mean latency"
+    );
+    assert_eq!(
+        a.p99_latency_ns.to_bits(),
+        b.p99_latency_ns.to_bits(),
+        "{ctx}: p99 latency"
+    );
+    assert_eq!(
+        a.throughput_gbps.to_bits(),
+        b.throughput_gbps.to_bits(),
+        "{ctx}: throughput"
+    );
+    assert_eq!(a, b, "{ctx}: full stats");
+}
+
+#[test]
+fn dash_routing_matches_single_threaded() {
+    let dash = DashRouting::build();
+    let params = CostParams::bluefield2();
+    for workers in WORKER_COUNTS {
+        let mut single = SmartNic::new(dash.graph.clone(), params.clone()).unwrap();
+        let mut sharded = ShardedNic::new(dash.graph.clone(), params.clone(), workers).unwrap();
+        single.set_instrumentation(true, 16);
+        sharded.set_instrumentation(true, 16);
+        // Several batches with distinct traffic phases, comparing the
+        // merged profile after each (take_profile resets, so each window
+        // is checked independently).
+        for (phase, rates) in [[0.0, 0.0, 0.0], [0.3, 0.0, 0.1], [0.0, 0.5, 0.0]]
+            .iter()
+            .enumerate()
+        {
+            let batch: Vec<Packet> = dash.traffic(rates, 800, 1.1, phase as u64).batch(6_000);
+            let ctx = format!("dash workers={workers} phase={phase}");
+            assert_stats_identical(single.measure(batch.clone()), sharded.measure(batch), &ctx);
+            assert_profiles_identical(&single.take_profile(), &sharded.take_profile(), &ctx);
+        }
+        assert_eq!(
+            single.now_s(),
+            sharded.now_s(),
+            "clocks diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn acl_pipeline_matches_single_threaded_with_sampling_one() {
+    // sample_every = 1 exercises the unscaled counter path.
+    let p = AclPipeline::build(6, 4);
+    let params = CostParams::emulated_nic();
+    for workers in WORKER_COUNTS {
+        let mut single = SmartNic::new(p.graph.clone(), params.clone()).unwrap();
+        let mut sharded = ShardedNic::new(p.graph.clone(), params.clone(), workers).unwrap();
+        single.set_instrumentation(true, 1);
+        sharded.set_instrumentation(true, 1);
+        let batch: Vec<Packet> = p.traffic(&[0.2, 0.0, 0.1, 0.0], 400, 7).batch(5_000);
+        let ctx = format!("acl workers={workers}");
+        assert_stats_identical(single.measure(batch.clone()), sharded.measure(batch), &ctx);
+        assert_profiles_identical(&single.take_profile(), &sharded.take_profile(), &ctx);
+    }
+}
+
+#[test]
+fn uninstrumented_runs_also_match() {
+    let dash = DashRouting::build();
+    let params = CostParams::agilio_cx();
+    for workers in WORKER_COUNTS {
+        let mut single = SmartNic::new(dash.graph.clone(), params.clone()).unwrap();
+        let mut sharded = ShardedNic::new(dash.graph.clone(), params.clone(), workers).unwrap();
+        let batch: Vec<Packet> = dash.traffic(&[0.1, 0.1, 0.1], 500, 0.0, 3).batch(4_000);
+        let ctx = format!("uninstrumented workers={workers}");
+        assert_stats_identical(single.measure(batch.clone()), sharded.measure(batch), &ctx);
+    }
+}
+
+#[test]
+fn process_one_matches_across_worker_counts() {
+    // The single-packet path uses the same global sequence numbers, so
+    // reports and profiles must match too.
+    let p = AclPipeline::build(4, 2);
+    let params = CostParams::bluefield2();
+    for workers in WORKER_COUNTS {
+        let mut single = SmartNic::new(p.graph.clone(), params.clone()).unwrap();
+        let mut sharded = ShardedNic::new(p.graph.clone(), params.clone(), workers).unwrap();
+        single.set_instrumentation(true, 4);
+        sharded.set_instrumentation(true, 4);
+        for i in 0..200u64 {
+            let mut a = Packet::new(&p.graph.fields);
+            let mut b = Packet::new(&p.graph.fields);
+            for (k, &f) in p.flow_fields.iter().enumerate() {
+                a.set(f, i * 31 + k as u64);
+                b.set(f, i * 31 + k as u64);
+            }
+            let ra = single.process_one(&mut a);
+            let rb = sharded.process_one(&mut b);
+            assert_eq!(ra, rb, "report diverged at packet {i} workers={workers}");
+            assert_eq!(a, b, "packet contents diverged at {i} workers={workers}");
+        }
+        assert_profiles_identical(
+            &single.take_profile(),
+            &sharded.take_profile(),
+            &format!("process_one workers={workers}"),
+        );
+    }
+}

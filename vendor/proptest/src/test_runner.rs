@@ -1,0 +1,65 @@
+//! Test configuration, per-case RNG derivation, and failure type.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// The deterministic RNG driving all strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Mirror of `proptest::test_runner::Config` for the fields this
+/// workspace sets.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Derives a per-case RNG from the fully qualified test name and case
+/// index, so each test sees an independent deterministic stream.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed_0000))
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. The parser walks the raw `proc_macro::TokenStream`
+//! directly (no syn/quote in this container) and deliberately never needs
+//! field *types*: deserialization relies on type inference at the struct
+//! literal, and a missing field is fed `Value::Null` so `Option` fields
+//! default to `None`.
+//!
+//! Supported shapes (the full inventory used by this workspace):
+//! - named structs, tuple/newtype structs
+//! - externally tagged enums with unit / newtype / tuple / struct variants
+//! - internally tagged enums (`#[serde(tag = "...")]`) with struct variants
+//! - container attr `rename_all = "snake_case"` (variant names)
+//! - field attrs `default`, `default = "path"`, `skip_serializing_if = "path"`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug, Clone)]
+struct SerdeAttrs {
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = SerdeAttrs::default();
+    let mut is_enum = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_attr_group(&g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1; // pub(crate)/pub(super)
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum keyword found"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Body::Enum(parse_variants(&g.stream()))
+            } else {
+                Body::NamedStruct(parse_named_fields(&g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Body::TupleStruct(count_tuple_fields(&g.stream()))
+        }
+        other => panic!("serde_derive: unsupported body for {name}: {other:?}"),
+    };
+    Container { name, attrs, body }
+}
+
+/// Parses the inside of one `#[...]` group, folding any serde args into
+/// `attrs` (non-serde attributes are ignored).
+fn parse_attr_group(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    // Split on top-level commas: each item is `ident` or `ident = "lit"`.
+    let items: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = match &items[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        let mut value: Option<String> = None;
+        if let Some(TokenTree::Punct(p)) = items.get(j + 1) {
+            if p.as_char() == '=' {
+                if let Some(TokenTree::Literal(lit)) = items.get(j + 2) {
+                    value = Some(unquote(&lit.to_string()));
+                    j += 2;
+                }
+            }
+        }
+        match key.as_str() {
+            "default" => attrs.default = Some(value),
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            "tag" => attrs.tag = value,
+            "rename_all" => attrs.rename_all = value,
+            _ => {} // tolerate (rename, deny_unknown_fields, ...) — unused here
+        }
+        j += 1;
+        // Skip to past the next comma.
+        while j < items.len() {
+            if let TokenTree::Punct(p) = &items[j] {
+                if p.as_char() == ',' {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        // Leading attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_attr_group(&g.stream(), &mut attrs);
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1;
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx == tokens.len() - 1 {
+                        saw_trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes (doc comments etc.) — variant-level serde attrs
+        // are not used in this workspace, so just skip.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to past the next top-level comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_lowercase(),
+        _ => name.to_string(),
+    }
+}
+
+/// Push-statements serializing named `fields` into a `Vec<(String, Value)>`
+/// named `__m`. `access` maps a field name to the expression reaching it
+/// (`&self.f` for structs, `f` for pattern-bound struct variants).
+fn ser_named_fields(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        let push = format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value({expr})));",
+            n = f.name
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({pred}({expr})) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Expression deserializing named field `f` from pair-slice `__fields`.
+fn de_named_field(f: &Field) -> String {
+    let missing = match &f.attrs.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::Error::custom(\"missing field `{n}`\"))?",
+            n = f.name
+        ),
+    };
+    format!(
+        "{n}: match ::serde::value::map_get(__fields, \"{n}\") {{ \
+           Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+           None => {missing}, \
+         }},",
+        n = f.name
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            let pushes = ser_named_fields(fields, &|f| format!("&self.{f}"));
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__m)"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => gen_serialize_enum(c, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let rule = c.attrs.rename_all.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag = rename(vname, rule);
+        let arm = if let Some(tag_key) = &c.attrs.tag {
+            // Internally tagged: tag key first, then flattened fields.
+            match &v.shape {
+                VariantShape::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Map(vec![(\"{tag_key}\".to_string(), \
+                     ::serde::Value::Str(\"{tag}\".to_string()))]),"
+                ),
+                VariantShape::Struct(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let pushes = ser_named_fields(fields, &|f| f.to_string());
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => {{\n\
+                           let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                           vec![(\"{tag_key}\".to_string(), \
+                                 ::serde::Value::Str(\"{tag}\".to_string()))];\n\
+                           {pushes}::serde::Value::Map(__m)\n}}",
+                        binds = binds.join(", ")
+                    )
+                }
+                VariantShape::Tuple(_) => panic!(
+                    "serde_derive (vendored): internally tagged tuple variant \
+                     {name}::{vname} unsupported"
+                ),
+            }
+        } else {
+            match &v.shape {
+                VariantShape::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::Str(\"{tag}\".to_string()),")
+                }
+                VariantShape::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{tag}\".to_string(), \
+                     ::serde::Serialize::to_value(__f0))]),"
+                ),
+                VariantShape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\"{tag}\"\
+                         .to_string(), ::serde::Value::Seq(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let pushes = ser_named_fields(fields, &|f| f.to_string());
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => {{\n\
+                           let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                           ::std::vec::Vec::new();\n\
+                           {pushes}\
+                           ::serde::Value::Map(vec![(\"{tag}\".to_string(), \
+                           ::serde::Value::Map(__m))])\n}}",
+                        binds = binds.join(", ")
+                    )
+                }
+            }
+        };
+        arms.push_str(&arm);
+        arms.push('\n');
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::NamedStruct(fields) => {
+            let field_exprs: Vec<String> = fields.iter().map(de_named_field).collect();
+            format!(
+                "let __fields = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                fields = field_exprs.join("\n")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Body::Enum(variants) => gen_deserialize_enum(c, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+           {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let rule = c.attrs.rename_all.as_deref();
+    if let Some(tag_key) = &c.attrs.tag {
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let tag = rename(vname, rule);
+            match &v.shape {
+                VariantShape::Unit => {
+                    arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                VariantShape::Struct(fields) => {
+                    let field_exprs: Vec<String> = fields.iter().map(de_named_field).collect();
+                    arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{vname} {{\n{f}\n}}),\n",
+                        f = field_exprs.join("\n")
+                    ));
+                }
+                VariantShape::Tuple(_) => panic!(
+                    "serde_derive (vendored): internally tagged tuple variant \
+                     {name}::{vname} unsupported"
+                ),
+            }
+        }
+        format!(
+            "let __fields = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+             format!(\"expected object for {name}, got {{}}\", __v.kind())))?;\n\
+             let __tag = ::serde::value::map_get(__fields, \"{tag_key}\")\
+             .and_then(|t| t.as_str())\
+             .ok_or_else(|| ::serde::Error::custom(\"missing tag `{tag_key}` for {name}\"))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown {name} variant {{__other:?}}\"))),\n}}"
+        )
+    } else {
+        let mut unit_arms = String::new();
+        let mut tagged_arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let tag = rename(vname, rule);
+            match &v.shape {
+                VariantShape::Unit => {
+                    unit_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                VariantShape::Tuple(1) => {
+                    tagged_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    ));
+                }
+                VariantShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    tagged_arms.push_str(&format!(
+                        "\"{tag}\" => {{\n\
+                           let __items = __inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                           \"expected array for {name}::{vname}\"))?;\n\
+                           if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                           ::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n\
+                           ::std::result::Result::Ok({name}::{vname}({items}))\n}}\n",
+                        items = items.join(", ")
+                    ));
+                }
+                VariantShape::Struct(fields) => {
+                    let field_exprs: Vec<String> = fields.iter().map(de_named_field).collect();
+                    tagged_arms.push_str(&format!(
+                        "\"{tag}\" => {{\n\
+                           let __fields = __inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                           \"expected object for {name}::{vname}\"))?;\n\
+                           ::std::result::Result::Ok({name}::{vname} {{\n{f}\n}})\n}}\n",
+                        f = field_exprs.join("\n")
+                    ));
+                }
+            }
+        }
+        format!(
+            "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+               return match __s {{\n{unit_arms}\
+               __other => ::std::result::Result::Err(::serde::Error::custom(\
+               format!(\"unknown {name} variant {{__other:?}}\"))),\n}};\n}}\n\
+             let __pairs = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+             format!(\"expected string or object for {name}, got {{}}\", __v.kind())))?;\n\
+             if __pairs.len() != 1 {{ return ::std::result::Result::Err(\
+             ::serde::Error::custom(\"expected single-key object for {name}\")); }}\n\
+             let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\n\
+             match __tag.as_str() {{\n{tagged_arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown {name} variant {{__other:?}}\"))),\n}}"
+        )
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline vendored stand-in for `serde_json`: JSON text ⇄ the vendored
+//! `serde` value tree.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::Value;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_compact_string(&value.to_value()))
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_pretty_string(&value.to_value()))
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = serde::value::parse_json(s).map_err(Error)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Converts any `Serialize` type to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a `Deserialize` type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T> {
+    Ok(T::from_value(v)?)
+}
