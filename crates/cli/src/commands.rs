@@ -20,6 +20,7 @@ USAGE:
   pipeleon simulate <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--trace t.trace]
            [--workers N] [--profile-out p.json]
+           [--chaos-seed S [--windows N]]
   pipeleon inspect  <program> [--target T] [--profile p.json]
   pipeleon build    <program.p4> [-o out.json]
   pipeleon calibrate [--target T]
@@ -172,6 +173,22 @@ fn simulate(args: &Args) -> Result<(), String> {
                 .batch(packets)
         }
     };
+    // Chaos mode: instead of one measurement batch, run the runtime
+    // controller loop against a fault-injected target and report per-
+    // window reconfiguration health.
+    if let Some(s) = args.get("chaos-seed") {
+        let chaos_seed: u64 = s
+            .parse()
+            .map_err(|_| format!("bad --chaos-seed {s:?} (expected u64)"))?;
+        let windows = args.get_usize("windows", 5)?;
+        return if workers > 1 {
+            let nic = ShardedNic::new(g.clone(), params, workers).map_err(|e| e.to_string())?;
+            chaos_simulate(nic, chaos_seed, windows, batch)
+        } else {
+            let nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
+            chaos_simulate(nic, chaos_seed, windows, batch)
+        };
+    }
     // The sharded datapath merges results deterministically, so any
     // worker count reports bit-identical statistics; >1 exercises the
     // parallel path (and finishes sooner on big batches).
@@ -199,6 +216,93 @@ fn simulate(args: &Args) -> Result<(), String> {
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote collected profile to {path}");
+    }
+    Ok(())
+}
+
+/// `simulate --chaos-seed`: drive the runtime controller over `windows`
+/// profiling windows while a seeded fault injector disturbs the target,
+/// then verify the deployed state converged to the controller's
+/// last-known-good layout.
+fn chaos_simulate<N: pipeleon_sim::NicBackend>(
+    mut nic: N,
+    seed: u64,
+    windows: usize,
+    batch: Vec<Packet>,
+) -> Result<(), String> {
+    use pipeleon_runtime::{
+        graph_fingerprint, Controller, ControllerConfig, FaultConfig, FaultyTarget, SimTarget,
+        Target,
+    };
+    nic.set_instrumentation(true, 1);
+    let g = nic.graph().clone();
+    let params = nic.params().clone();
+    let optimizer = Optimizer::new(CostModel::new(params));
+    let mut target = FaultyTarget::new(SimTarget::live(nic), FaultConfig::chaos(seed));
+    // Construction deploys fault-free; chaos starts with the loop.
+    target.set_armed(false);
+    let mut c = Controller::new(target, g, optimizer, ControllerConfig::default())
+        .map_err(|e| e.to_string())?;
+    c.target.set_armed(true);
+    let windows = windows.max(1);
+    let per_window = (batch.len() / windows).max(1);
+    println!("chaos run: seed {seed}, {windows} windows x {per_window} packets");
+    for (w, chunk) in batch.chunks(per_window).take(windows).enumerate() {
+        c.target.inner.nic.measure_batch(chunk.to_vec());
+        let r = c.tick().map_err(|e| e.to_string())?;
+        let h = &r.health;
+        let mut line = format!(
+            "window {:>2}: change {:>6.3}  {}",
+            w + 1,
+            if r.profile_change.is_finite() {
+                r.profile_change
+            } else {
+                9.999
+            },
+            if r.reoptimized { "reopt" } else { "idle " },
+        );
+        if r.deployed {
+            line.push_str(&format!("  deployed (gain {:.1} ns/pkt)", r.est_gain_ns));
+        }
+        line.push_str(&format!(
+            "  retries {} rollbacks {} losses {}",
+            h.deploy_retries, h.rollbacks, h.profile_losses
+        ));
+        if h.degraded {
+            line.push_str("  DEGRADED");
+        }
+        if h.pin_pending {
+            line.push_str("  PIN-PENDING");
+        }
+        println!("{line}");
+    }
+    // Healing: faults off; repair a pending pin if the run ended wedged.
+    c.target.set_armed(false);
+    if c.health().pin_pending {
+        let _ = c.tick();
+    }
+    let h = c.health().clone();
+    let verified = c.target.fingerprint() == Some(graph_fingerprint(c.last_known_good()));
+    println!(
+        "faults injected:   {} over {} target ops",
+        c.target.fault_count(),
+        c.target.op_log().len()
+    );
+    println!("reconfigurations:  {}", c.reconfig_count);
+    println!(
+        "final health:      retries {} rollbacks {} losses {} degraded {} pin_pending {}",
+        h.deploy_retries, h.rollbacks, h.profile_losses, h.degraded, h.pin_pending
+    );
+    println!(
+        "target state:      {}",
+        if verified {
+            "verified (fingerprint matches last-known-good)"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if !verified {
+        return Err("chaos run ended with the target diverged from controller bookkeeping".into());
     }
     Ok(())
 }
@@ -422,6 +526,40 @@ mod tests {
             std::fs::read_to_string(&sharded).unwrap(),
             "sharded profile must be byte-identical to single-threaded"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_chaos_mode_converges() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test6_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        // Single-worker and sharded chaos loops must both converge (the
+        // command fails if the target ends divergent).
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--chaos-seed",
+            "7",
+            "--windows",
+            "4",
+        ]))
+        .unwrap();
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--chaos-seed",
+            "7",
+            "--windows",
+            "4",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

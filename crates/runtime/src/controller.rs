@@ -6,18 +6,33 @@
 //! deploy the new layout when it pays. [`Controller::insert_entry`] /
 //! [`Controller::remove_entry`] implement the original-program
 //! control-plane API on top of the optimized layout (§2.3).
+//!
+//! Reconfiguration is *transactional*: a candidate deploy is validated,
+//! applied with bounded retry + exponential backoff, and verified against
+//! the target's readback [`fingerprint`](crate::Target::fingerprint); on
+//! failure the controller rolls back to the last-known-good layout (or
+//! pins the original program), and after
+//! [`ControllerConfig::degrade_after`] consecutive failures a circuit
+//! breaker opens: the controller enters *degraded* mode — original
+//! program pinned, re-optimization suspended — until
+//! [`ControllerConfig::cooldown_ticks`] healthy windows pass. Entry
+//! operations are atomic: a failure mid-fan-out rolls the original-table
+//! mutation back and restores the deployed state, so the source of truth
+//! and the target never diverge.
 
 use pipeleon::apply::{AppliedPlan, EntrySite};
 use pipeleon::config::ResourceLimits;
 use pipeleon::opts::{merge, EvalCtx};
 use pipeleon::search::{IncrementalState, Optimizer};
 use pipeleon_cost::RuntimeProfile;
-use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, TableEntry};
+use pipeleon_ir::json::to_json_string;
+use pipeleon_ir::{NextHops, NodeId, NodeKind, ProgramGraph, Table, TableEntry};
 use std::collections::HashMap;
 use std::time::Duration;
 
 use crate::change::profile_distance;
-use crate::target::Target;
+use crate::error::RuntimeError;
+use crate::target::{fingerprint_bytes, Target};
 
 /// Controller tunables.
 #[derive(Debug, Clone)]
@@ -32,6 +47,16 @@ pub struct ControllerConfig {
     /// Re-optimize every tick regardless of drift (used by experiments
     /// that sweep workloads).
     pub always_reoptimize: bool,
+    /// Deploy retries after the first attempt of a transaction fails.
+    pub max_deploy_retries: u32,
+    /// Base backoff between deploy retries; doubles per retry. Zero
+    /// disables sleeping (pure retry).
+    pub retry_backoff: Duration,
+    /// Consecutive failed deploy transactions before the circuit breaker
+    /// opens (degraded mode: original pinned, no re-optimization).
+    pub degrade_after: u32,
+    /// Healthy ticks required to close the breaker again.
+    pub cooldown_ticks: u32,
 }
 
 impl Default for ControllerConfig {
@@ -41,8 +66,34 @@ impl Default for ControllerConfig {
             change_threshold: 0.05,
             min_gain_ns: 1.0,
             always_reoptimize: false,
+            max_deploy_retries: 2,
+            retry_backoff: Duration::from_micros(200),
+            degrade_after: 3,
+            cooldown_ticks: 4,
         }
     }
+}
+
+/// Health of the reconfiguration loop (the circuit-breaker state),
+/// reported in every [`TickReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Consecutive failed deploy transactions (reset by any success).
+    pub consecutive_deploy_failures: u32,
+    /// Total deploy retries performed (beyond first attempts).
+    pub deploy_retries: u64,
+    /// Total rollbacks to the last-known-good (or original) layout.
+    pub rollbacks: u64,
+    /// Profiling windows that came back empty (telemetry loss).
+    pub profile_losses: u64,
+    /// Whether the circuit breaker is open: the original program is
+    /// pinned and re-optimization is suspended.
+    pub degraded: bool,
+    /// Healthy ticks remaining before the breaker closes.
+    pub cooldown_remaining: u32,
+    /// A rollback deploy failed: the target may run a stale layout; the
+    /// controller re-attempts the pin at the start of the next tick.
+    pub pin_pending: bool,
 }
 
 /// What one tick did.
@@ -62,6 +113,41 @@ pub struct TickReport {
     pub downtime_s: f64,
     /// Human-readable steps of the deployed plan.
     pub summary: Vec<String>,
+    /// Snapshot of the reconfiguration-loop health after this tick.
+    pub health: HealthReport,
+}
+
+/// The layout the controller last verified on the target, kept in sync
+/// with every successful entry operation so a rollback redeploys the
+/// *current* state, not a stale snapshot.
+#[derive(Debug, Clone)]
+struct DeployedState {
+    graph: ProgramGraph,
+    json: String,
+}
+
+/// A mutation applied to the target during entry fan-out, replayed onto
+/// the last-known-good mirror only after *all* sites succeed.
+enum MirrorOp {
+    Insert(NodeId, TableEntry),
+    Remove(NodeId, usize),
+    Replace(NodeId, Table, Option<NextHops>),
+}
+
+/// Why a merged-table re-materialization failed.
+enum RematError {
+    /// The cross-product outgrew the merge budget (§3.2.3) — not a target
+    /// fault; the controller reverses the merge.
+    Budget(#[allow(dead_code)] String),
+    /// The target rejected the table replacement.
+    Target(RuntimeError),
+}
+
+/// An entry fan-out failure, with whether any site was already mutated
+/// (deciding if the deployed state must be restored).
+struct FanOutFailure {
+    error: RuntimeError,
+    sites_applied: bool,
 }
 
 /// The Pipeleon runtime: original program + optimizer + deployed target.
@@ -73,10 +159,11 @@ pub struct Controller<T: Target> {
     optimizer: Optimizer,
     cfg: ControllerConfig,
     applied: Option<AppliedPlan>,
-    deployed_json: String,
+    last_good: DeployedState,
     last_profile: Option<RuntimeProfile>,
     update_counts: HashMap<NodeId, u64>,
     incremental: IncrementalState,
+    health: HealthReport,
     /// Measured hit rates of deployed caches, keyed by covered tables —
     /// fed back into the optimizer's cache estimates (§3.2.2).
     cache_hints: HashMap<Vec<NodeId>, f64>,
@@ -85,29 +172,37 @@ pub struct Controller<T: Target> {
 }
 
 impl<T: Target> Controller<T> {
-    /// Creates a controller and deploys the original program.
+    /// Creates a controller and deploys the original program
+    /// (transactionally: the initial deploy is retried and verified like
+    /// any other).
     pub fn new(
-        mut target: T,
+        target: T,
         original: ProgramGraph,
         optimizer: Optimizer,
         cfg: ControllerConfig,
-    ) -> Result<Self, IrError> {
-        original.validate()?;
-        target.deploy(original.clone())?;
-        let deployed_json = pipeleon_ir::json::to_json_string(&original).unwrap_or_default();
-        Ok(Self {
+    ) -> Result<Self, RuntimeError> {
+        original.validate().map_err(RuntimeError::Ir)?;
+        let json = to_json_string(&original)?;
+        let mut this = Self {
             target,
-            original,
+            original: original.clone(),
             optimizer,
             cfg,
             applied: None,
-            deployed_json,
+            last_good: DeployedState {
+                graph: original,
+                json,
+            },
             last_profile: None,
             update_counts: HashMap::new(),
             incremental: IncrementalState::new(),
+            health: HealthReport::default(),
             cache_hints: HashMap::new(),
             reconfig_count: 0,
-        })
+        };
+        let (g, j) = (this.last_good.graph.clone(), this.last_good.json.clone());
+        this.deploy_transaction(g, &j)?;
+        Ok(this)
     }
 
     /// The original (unoptimized) program — the API namespace operators
@@ -121,10 +216,160 @@ impl<T: Target> Controller<T> {
         self.applied.as_ref()
     }
 
+    /// Current reconfiguration-loop health.
+    pub fn health(&self) -> &HealthReport {
+        &self.health
+    }
+
+    /// The layout the controller last verified on the target.
+    pub fn last_known_good(&self) -> &ProgramGraph {
+        &self.last_good.graph
+    }
+
+    /// One deploy transaction: validate → apply (bounded retry with
+    /// exponential backoff) → verify via the target's readback
+    /// fingerprint. The target's *reported* outcome is cross-checked
+    /// against the readback in both directions, so torn deploys — applied
+    /// but reported failed, or acked but never applied — are detected.
+    fn deploy_transaction(&mut self, graph: ProgramGraph, json: &str) -> Result<(), RuntimeError> {
+        graph.validate().map_err(RuntimeError::InvalidCandidate)?;
+        let expected = fingerprint_bytes(json.as_bytes());
+        let mut attempts = 0u32;
+        let mut last: Option<RuntimeError> = None;
+        while attempts <= self.cfg.max_deploy_retries {
+            if attempts > 0 {
+                self.health.deploy_retries += 1;
+                let backoff = self.cfg.retry_backoff * (1u32 << (attempts - 1).min(16));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            attempts += 1;
+            let outcome = self.target.deploy(graph.clone());
+            match self.target.fingerprint() {
+                Some(actual) => {
+                    if actual == expected {
+                        // Verified running — even if the ack was lost.
+                        return Ok(());
+                    }
+                    last = Some(match outcome {
+                        Ok(()) => RuntimeError::TornDeploy { expected, actual },
+                        Err(e) => RuntimeError::Ir(e),
+                    });
+                }
+                None => match outcome {
+                    Ok(()) => return Ok(()),
+                    Err(e) => last = Some(RuntimeError::Ir(e)),
+                },
+            }
+        }
+        match last {
+            Some(RuntimeError::TornDeploy { expected, actual }) => {
+                Err(RuntimeError::TornDeploy { expected, actual })
+            }
+            Some(RuntimeError::Ir(source)) => Err(RuntimeError::DeployFailed { attempts, source }),
+            Some(other) => Err(other),
+            None => unreachable!("at least one attempt always runs"),
+        }
+    }
+
+    /// Deploys the original program and makes it the deployed state.
+    fn pin_original(&mut self) -> Result<(), RuntimeError> {
+        let g = self.original.clone();
+        let json = to_json_string(&g)?;
+        self.deploy_transaction(g.clone(), &json)?;
+        self.applied = None;
+        self.last_good = DeployedState { graph: g, json };
+        self.health.pin_pending = false;
+        self.reconfig_count += 1;
+        Ok(())
+    }
+
+    /// Restores the target to the last-known-good layout after a failed
+    /// candidate deploy (falling back to the original program, and to
+    /// `pin_pending` when even that fails).
+    fn recover_deployed_state(&mut self) {
+        let (g, j) = (self.last_good.graph.clone(), self.last_good.json.clone());
+        if self.deploy_transaction(g, &j).is_ok() {
+            self.health.rollbacks += 1;
+            self.health.pin_pending = false;
+        } else if self.pin_original().is_ok() {
+            self.health.rollbacks += 1;
+        } else {
+            self.health.pin_pending = true;
+        }
+    }
+
+    /// Attempts a verified candidate deploy; on failure recovers the
+    /// deployed state and advances the circuit breaker. Returns whether
+    /// the candidate is now running.
+    fn deploy_candidate_or_recover(&mut self, applied: AppliedPlan, json: String) -> bool {
+        match self.deploy_transaction(applied.graph.clone(), &json) {
+            Ok(()) => {
+                self.health.consecutive_deploy_failures = 0;
+                self.last_good = DeployedState {
+                    graph: applied.graph.clone(),
+                    json,
+                };
+                self.applied = Some(applied);
+                self.reconfig_count += 1;
+                true
+            }
+            Err(_) => {
+                self.health.consecutive_deploy_failures += 1;
+                self.recover_deployed_state();
+                if self.health.consecutive_deploy_failures >= self.cfg.degrade_after
+                    && !self.health.degraded
+                {
+                    self.health.degraded = true;
+                    self.health.cooldown_remaining = self.cfg.cooldown_ticks;
+                    if self.applied.is_some() && self.pin_original().is_err() {
+                        self.health.pin_pending = true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Builds a report for a tick that did no optimization work.
+    fn report_only(&self, profile_change: f64) -> TickReport {
+        TickReport {
+            profile_change,
+            reoptimized: false,
+            deployed: false,
+            est_gain_ns: 0.0,
+            search_time: Duration::ZERO,
+            downtime_s: 0.0,
+            summary: Vec::new(),
+            health: self.health.clone(),
+        }
+    }
+
     /// One profiling window: collect → translate → detect → re-optimize →
-    /// deploy.
-    pub fn tick(&mut self) -> Result<TickReport, IrError> {
+    /// deploy (transactionally).
+    pub fn tick(&mut self) -> Result<TickReport, RuntimeError> {
+        // Repair pass: if an earlier rollback failed, the target may be
+        // running a stale layout — re-pin before trusting anything else.
+        if self.health.pin_pending && self.pin_original().is_err() {
+            self.health.consecutive_deploy_failures += 1;
+            if self.health.consecutive_deploy_failures >= self.cfg.degrade_after
+                && !self.health.degraded
+            {
+                self.health.degraded = true;
+                self.health.cooldown_remaining = self.cfg.cooldown_ticks;
+            }
+            return Ok(self.report_only(0.0));
+        }
         let raw = self.target.take_profile();
+        if raw.is_empty() && self.last_profile.is_some() {
+            // Profile loss: an empty window while history exists is a
+            // telemetry outage, not drift — skipping keeps the previous
+            // window as the baseline instead of registering infinite
+            // change and redeploying spuriously.
+            self.health.profile_losses += 1;
+            return Ok(self.report_only(0.0));
+        }
         let window_s = raw.window_s.max(1e-9);
         let mut profile = match &self.applied {
             Some(a) => a.counter_map.translate(&raw),
@@ -176,15 +421,24 @@ impl<T: Target> Controller<T> {
             Some(prev) => profile_distance(&self.original, prev, &profile),
             None => f64::INFINITY,
         };
-        let mut report = TickReport {
-            profile_change,
-            reoptimized: false,
-            deployed: false,
-            est_gain_ns: 0.0,
-            search_time: Duration::ZERO,
-            downtime_s: 0.0,
-            summary: Vec::new(),
-        };
+        let mut report = self.report_only(profile_change);
+
+        if self.health.degraded {
+            // Circuit open: the original program stays pinned and no
+            // re-optimization runs; each healthy window counts toward
+            // closing the breaker.
+            self.last_profile = Some(profile);
+            if self.health.cooldown_remaining > 0 {
+                self.health.cooldown_remaining -= 1;
+            }
+            if self.health.cooldown_remaining == 0 {
+                self.health.degraded = false;
+                self.health.consecutive_deploy_failures = 0;
+            }
+            report.health = self.health.clone();
+            return Ok(report);
+        }
+
         if self.cfg.always_reoptimize || profile_change >= self.cfg.change_threshold {
             report.reoptimized = true;
             // Incremental search (§6): pipelets whose local profile is
@@ -197,97 +451,163 @@ impl<T: Target> Controller<T> {
             )?;
             report.est_gain_ns = outcome.est_gain_ns;
             report.search_time = outcome.search_time;
-            let candidate_json =
-                pipeleon_ir::json::to_json_string(&outcome.applied.graph).unwrap_or_default();
+            let candidate_json = to_json_string(&outcome.applied.graph)?;
             let worth_it = outcome.est_gain_ns >= self.cfg.min_gain_ns
-                || (!self.deployed_json.is_empty()
-                    && outcome.plan.is_empty()
-                    && self.applied.is_some());
-            if worth_it && candidate_json != self.deployed_json {
-                self.target.deploy(outcome.applied.graph.clone())?;
-                for &cache in &outcome.applied.cache_nodes {
-                    self.target
-                        .set_cache_insertion_limit(cache, self.optimizer.cfg.cache_insertion_limit);
+                || (outcome.plan.is_empty() && self.applied.is_some());
+            if worth_it && candidate_json != self.last_good.json {
+                let summary = outcome.applied.summary.clone();
+                let cache_nodes = outcome.applied.cache_nodes.clone();
+                if self.deploy_candidate_or_recover(outcome.applied, candidate_json) {
+                    for &cache in &cache_nodes {
+                        self.target.set_cache_insertion_limit(
+                            cache,
+                            self.optimizer.cfg.cache_insertion_limit,
+                        );
+                    }
+                    report.deployed = true;
+                    report.downtime_s = self.target.reconfig_downtime_s();
+                    report.summary = summary;
                 }
-                report.deployed = true;
-                report.downtime_s = self.target.reconfig_downtime_s();
-                report.summary = outcome.applied.summary.clone();
-                self.deployed_json = candidate_json;
-                self.applied = Some(outcome.applied);
-                self.reconfig_count += 1;
             }
         }
         self.last_profile = Some(profile);
+        report.health = self.health.clone();
         Ok(report)
     }
 
     /// Inserts an entry into original-program table `table`, routing the
     /// operation to the optimized layout (direct insert, cache flush,
-    /// merged-table re-materialization).
-    pub fn insert_entry(&mut self, table: NodeId, entry: TableEntry) -> Result<(), IrError> {
+    /// merged-table re-materialization). Atomic: if any optimized site
+    /// rejects the update, the original-program mutation is rolled back
+    /// and the deployed state is restored.
+    pub fn insert_entry(&mut self, table: NodeId, entry: TableEntry) -> Result<(), RuntimeError> {
         // Source of truth first.
         {
             let n = self
                 .original
                 .node_mut(table)
-                .ok_or(IrError::UnknownNode(table))?;
-            let t = n.as_table_mut().ok_or(IrError::BadTable {
+                .ok_or(pipeleon_ir::IrError::UnknownNode(table))?;
+            let t = n.as_table_mut().ok_or(pipeleon_ir::IrError::BadTable {
                 table,
                 reason: "not a table".into(),
             })?;
             t.entries.push(entry.clone());
             t.validate()
-                .map_err(|reason| IrError::BadEntry { table, reason })?;
+                .map_err(|reason| pipeleon_ir::IrError::BadEntry { table, reason })?;
         }
         *self.update_counts.entry(table).or_insert(0) += 1;
-        self.route_update(table, Some(entry), None)
+        match self.route_update(table, Some(entry), None) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                // Roll the source of truth back: the op failed atomically.
+                if let Some(t) = self.original.node_mut(table).and_then(|n| n.as_table_mut()) {
+                    t.entries.pop();
+                }
+                self.undo_update_count(table);
+                if f.sites_applied {
+                    self.recover_deployed_state();
+                }
+                Err(RuntimeError::EntryOpFailed {
+                    table,
+                    op: "insert",
+                    source: Box::new(f.error),
+                })
+            }
+        }
     }
 
     /// Removes the entry at `index` from original-program table `table`.
-    pub fn remove_entry(&mut self, table: NodeId, index: usize) -> Result<(), IrError> {
-        {
+    /// Atomic: a target-side failure restores both the original table and
+    /// the deployed state.
+    pub fn remove_entry(&mut self, table: NodeId, index: usize) -> Result<(), RuntimeError> {
+        let removed = {
             let n = self
                 .original
                 .node_mut(table)
-                .ok_or(IrError::UnknownNode(table))?;
-            let t = n.as_table_mut().ok_or(IrError::BadTable {
+                .ok_or(pipeleon_ir::IrError::UnknownNode(table))?;
+            let t = n.as_table_mut().ok_or(pipeleon_ir::IrError::BadTable {
                 table,
                 reason: "not a table".into(),
             })?;
             if index >= t.entries.len() {
-                return Err(IrError::BadEntry {
+                return Err(RuntimeError::Ir(pipeleon_ir::IrError::BadEntry {
                     table,
                     reason: format!("no entry at index {index}"),
-                });
+                }));
             }
-            t.entries.remove(index);
-        }
+            t.entries.remove(index)
+        };
         *self.update_counts.entry(table).or_insert(0) += 1;
-        self.route_update(table, None, Some(index))
+        match self.route_update(table, None, Some(index)) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                if let Some(t) = self.original.node_mut(table).and_then(|n| n.as_table_mut()) {
+                    t.entries.insert(index.min(t.entries.len()), removed);
+                }
+                self.undo_update_count(table);
+                if f.sites_applied {
+                    self.recover_deployed_state();
+                }
+                Err(RuntimeError::EntryOpFailed {
+                    table,
+                    op: "remove",
+                    source: Box::new(f.error),
+                })
+            }
+        }
     }
 
-    /// Applies one original-table update to every optimized site.
+    fn undo_update_count(&mut self, table: NodeId) {
+        if let Some(c) = self.update_counts.get_mut(&table) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.update_counts.remove(&table);
+            }
+        }
+    }
+
+    /// Applies one original-table update to every optimized site. Target
+    /// mutations are mirrored into the last-known-good layout only after
+    /// the whole fan-out succeeds, so a rollback always redeploys the
+    /// pre-operation state.
     fn route_update(
         &mut self,
         table: NodeId,
         insert: Option<TableEntry>,
         remove_index: Option<usize>,
-    ) -> Result<(), IrError> {
+    ) -> Result<(), FanOutFailure> {
         let sites = match &self.applied {
             Some(a) => a.entry_map.sites(table),
             None => vec![EntrySite::Direct],
         };
+        let mut mirror: Vec<MirrorOp> = Vec::new();
+        let mut sites_applied = false;
         for site in sites {
             match site {
                 EntrySite::Direct => {
                     if let Some(e) = &insert {
-                        self.target.insert_entry(table, e.clone())?;
+                        self.target.insert_entry(table, e.clone()).map_err(|err| {
+                            FanOutFailure {
+                                error: err.into(),
+                                sites_applied,
+                            }
+                        })?;
+                        sites_applied = true;
+                        mirror.push(MirrorOp::Insert(table, e.clone()));
                     }
                     if let Some(i) = remove_index {
-                        self.target.remove_entry(table, i)?;
+                        self.target
+                            .remove_entry(table, i)
+                            .map_err(|err| FanOutFailure {
+                                error: err.into(),
+                                sites_applied,
+                            })?;
+                        sites_applied = true;
+                        mirror.push(MirrorOp::Remove(table, i));
                     }
                 }
                 EntrySite::CoveredByCache { cache } => {
+                    // Infallible and semantically neutral: no mirror op.
                     self.target.flush_cache(cache);
                 }
                 EntrySite::MergedInto {
@@ -295,44 +615,113 @@ impl<T: Target> Controller<T> {
                     components,
                     as_cache,
                     hit_exit,
-                } => {
-                    if self
-                        .rematerialize(merged, &components, as_cache, hit_exit)
-                        .is_err()
-                    {
+                } => match self.rematerialize(merged, &components, as_cache, hit_exit) {
+                    Ok((new_table, next)) => {
+                        sites_applied = true;
+                        mirror.push(MirrorOp::Replace(merged, new_table, next));
+                    }
+                    Err(RematError::Budget(_)) => {
                         // The cross-product outgrew the merge budget —
                         // §3.2.3: "Pipeleon will reverse the merge and
                         // recompute the optimizations". Redeploy the
                         // original program (which already contains the
-                        // update); the next tick re-optimizes.
-                        self.revert_to_original()?;
+                        // update); the next tick re-optimizes. If even
+                        // that deploy fails, `pin_pending` is set and the
+                        // next tick converges — the update itself stands.
+                        let _ = self.revert_to_original();
                         return Ok(());
                     }
-                }
+                    Err(RematError::Target(error)) => {
+                        return Err(FanOutFailure {
+                            error,
+                            sites_applied,
+                        })
+                    }
+                },
             }
         }
+        self.commit_mirror(mirror);
         Ok(())
+    }
+
+    /// Replays a fully-applied fan-out onto the last-known-good mirror
+    /// and refreshes its serialized form.
+    fn commit_mirror(&mut self, ops: Vec<MirrorOp>) {
+        if ops.is_empty() {
+            return;
+        }
+        let mut stale = false;
+        for op in ops {
+            match op {
+                MirrorOp::Insert(table, entry) => {
+                    match self
+                        .last_good
+                        .graph
+                        .node_mut(table)
+                        .and_then(|n| n.as_table_mut())
+                    {
+                        Some(t) => t.entries.push(entry),
+                        None => stale = true,
+                    }
+                }
+                MirrorOp::Remove(table, index) => {
+                    match self
+                        .last_good
+                        .graph
+                        .node_mut(table)
+                        .and_then(|n| n.as_table_mut())
+                    {
+                        Some(t) if index < t.entries.len() => {
+                            t.entries.remove(index);
+                        }
+                        _ => stale = true,
+                    }
+                }
+                MirrorOp::Replace(node, table, next) => match self.last_good.graph.node_mut(node) {
+                    Some(n) => {
+                        n.kind = NodeKind::Table(table);
+                        if let Some(next) = next {
+                            n.next = next;
+                        }
+                    }
+                    None => stale = true,
+                },
+            }
+        }
+        match to_json_string(&self.last_good.graph) {
+            Ok(j) if !stale => self.last_good.json = j,
+            // The mirror no longer matches what the target runs; force a
+            // re-pin of the original program on the next tick (safe and
+            // self-correcting, at the cost of one reconfiguration).
+            _ => self.health.pin_pending = true,
+        }
     }
 
     /// Abandons the optimized layout and redeploys the original program
-    /// (merge revert, §3.2.3).
-    pub fn revert_to_original(&mut self) -> Result<(), IrError> {
-        self.target.deploy(self.original.clone())?;
-        self.deployed_json = pipeleon_ir::json::to_json_string(&self.original).unwrap_or_default();
-        self.applied = None;
-        self.reconfig_count += 1;
-        Ok(())
+    /// (merge revert, §3.2.3). On failure the controller reports a typed
+    /// error and re-attempts the pin at the start of the next tick.
+    pub fn revert_to_original(&mut self) -> Result<(), RuntimeError> {
+        match self.pin_original() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.health.pin_pending = true;
+                Err(RuntimeError::RollbackFailed {
+                    source: Box::new(e),
+                })
+            }
+        }
     }
 
     /// Rebuilds a merged table from the original components' current
-    /// entries and pushes it to the target.
+    /// entries and pushes it to the target. Returns the new table (and
+    /// next hops) for the last-known-good mirror.
     fn rematerialize(
         &mut self,
         merged: NodeId,
         components: &[NodeId],
         as_cache: bool,
         hit_exit: Option<NodeId>,
-    ) -> Result<(), IrError> {
+    ) -> Result<(Table, Option<NextHops>), RematError> {
         let profile = RuntimeProfile::empty();
         let ctx = EvalCtx {
             model: &self.optimizer.model,
@@ -341,7 +730,7 @@ impl<T: Target> Controller<T> {
             profile: &profile,
             reach: 1.0,
         };
-        let m = merge::materialize(&ctx, components, as_cache).map_err(IrError::Invalid)?;
+        let m = merge::materialize(&ctx, components, as_cache).map_err(RematError::Budget)?;
         let next = if as_cache {
             let miss = m.miss_action;
             Some(NextHops::ByAction(
@@ -359,18 +748,21 @@ impl<T: Target> Controller<T> {
             None
         };
         let action_map = m.action_map.clone();
-        self.target.replace_table(merged, m.table, next)?;
+        self.target
+            .replace_table(merged, m.table.clone(), next.clone())
+            .map_err(|e| RematError::Target(e.into()))?;
         if let Some(a) = &mut self.applied {
             a.counter_map.replace_mappings(merged, &action_map);
         }
-        Ok(())
+        Ok((m.table, next))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::target::SimTarget;
+    use crate::faults::{FaultConfig, FaultyTarget, InjectedFault};
+    use crate::target::{graph_fingerprint, SimTarget};
     use pipeleon_cost::{CostModel, CostParams};
     use pipeleon_ir::{MatchKind, MatchValue, ProgramBuilder};
     use pipeleon_sim::{Packet, SmartNic};
@@ -382,6 +774,23 @@ mod tests {
         nic.set_instrumentation(true, 1);
         let optimizer = Optimizer::new(CostModel::new(CostParams::bluefield2()));
         Controller::new(SimTarget::live(nic), p.graph.clone(), optimizer, cfg).unwrap()
+    }
+
+    fn faulty_controller_for(
+        p: &AclPipeline,
+        cfg: ControllerConfig,
+        faults: FaultConfig,
+    ) -> Controller<FaultyTarget<SimTarget>> {
+        let mut nic = SmartNic::new(p.graph.clone(), CostParams::bluefield2()).unwrap();
+        nic.set_instrumentation(true, 1);
+        let optimizer = Optimizer::new(CostModel::new(CostParams::bluefield2()));
+        let mut target = FaultyTarget::new(SimTarget::live(nic), faults);
+        // Never fault the construction deploy; tests arm or script faults
+        // afterwards.
+        target.set_armed(false);
+        let mut c = Controller::new(target, p.graph.clone(), optimizer, cfg).unwrap();
+        c.target.set_armed(true);
+        c
     }
 
     #[test]
@@ -414,6 +823,8 @@ mod tests {
         let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(p.acls[0]) < pos(p.acls[2]));
         assert_eq!(c.reconfig_count, 2);
+        // A fault-free run reports clean health.
+        assert_eq!(r3.health, HealthReport::default());
     }
 
     #[test]
@@ -606,5 +1017,258 @@ mod tests {
         c.target.nic.process_one(&mut pkt);
         assert_eq!(pkt.get(y), 1);
         assert_eq!(pkt.get(z), 2);
+    }
+
+    // ---- fault-path unit tests (tentpole + satellites) ----
+
+    fn heavy_window(c: &mut Controller<FaultyTarget<SimTarget>>, p: &AclPipeline, seed: u64) {
+        let n = p.acls.len();
+        let mut rates = vec![0.0; n];
+        rates[(seed as usize) % n] = 0.7;
+        let mut gen = p.traffic(&rates, 500, seed);
+        c.target.inner.nic.measure(gen.batch(4000));
+    }
+
+    #[test]
+    fn failed_insert_rolls_back_the_original_table() {
+        let p = AclPipeline::build(2, 2);
+        let mut c = faulty_controller_for(&p, ControllerConfig::default(), FaultConfig::none(1));
+        let before = c
+            .original()
+            .node(p.acls[0])
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .entries
+            .len();
+        c.target.inject_next(InjectedFault::EntryOpFail, 1);
+        let err = c
+            .insert_entry(p.acls[0], TableEntry::new(vec![MatchValue::Exact(0x77)], 1))
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::EntryOpFailed { op: "insert", .. }),
+            "{err:?}"
+        );
+        // Source of truth unchanged (satellite: ordering bug fixed).
+        let after = c
+            .original()
+            .node(p.acls[0])
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .entries
+            .len();
+        assert_eq!(after, before, "original must not run ahead of the target");
+        // The failed op must not leak into the update-rate counters.
+        assert!(c.update_counts.is_empty());
+        // Target unaffected: the probe value is not dropped.
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[0], 0x77);
+        assert!(!c.target.inner.nic.process_one(&mut pkt).dropped);
+        // Retrying without faults succeeds.
+        c.insert_entry(p.acls[0], TableEntry::new(vec![MatchValue::Exact(0x77)], 1))
+            .unwrap();
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[0], 0x77);
+        assert!(c.target.inner.nic.process_one(&mut pkt).dropped);
+    }
+
+    #[test]
+    fn failed_remove_restores_the_original_entry() {
+        let p = AclPipeline::build(2, 2);
+        let mut c = faulty_controller_for(&p, ControllerConfig::default(), FaultConfig::none(1));
+        c.insert_entry(p.acls[0], TableEntry::new(vec![MatchValue::Exact(0x88)], 1))
+            .unwrap();
+        c.target.inject_next(InjectedFault::EntryOpFail, 1);
+        let err = c.remove_entry(p.acls[0], 1).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::EntryOpFailed { op: "remove", .. }),
+            "{err:?}"
+        );
+        // The entry is still present in the original AND on the target.
+        let entries = &c
+            .original()
+            .node(p.acls[0])
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .entries;
+        assert_eq!(entries.len(), 2);
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[0], 0x88);
+        assert!(c.target.inner.nic.process_one(&mut pkt).dropped);
+        // And the remove works once the fault clears.
+        c.remove_entry(p.acls[0], 1).unwrap();
+        let mut pkt = Packet::new(&p.graph.fields);
+        pkt.set(p.acl_fields[0], 0x88);
+        assert!(!c.target.inner.nic.process_one(&mut pkt).dropped);
+    }
+
+    #[test]
+    fn transient_deploy_rejection_is_retried() {
+        let p = AclPipeline::build(3, 3);
+        let mut c = faulty_controller_for(&p, ControllerConfig::default(), FaultConfig::none(1));
+        heavy_window(&mut c, &p, 2);
+        // First attempt rejected; the retry must land the deploy.
+        c.target.inject_next(InjectedFault::DeployReject, 1);
+        let r = c.tick().unwrap();
+        assert!(r.deployed, "retry should recover: {r:?}");
+        assert_eq!(r.health.deploy_retries, 1);
+        assert_eq!(r.health.consecutive_deploy_failures, 0);
+        assert_eq!(r.health.rollbacks, 0);
+    }
+
+    #[test]
+    fn torn_stale_deploy_is_detected_by_readback_and_retried() {
+        let p = AclPipeline::build(3, 3);
+        let mut c = faulty_controller_for(&p, ControllerConfig::default(), FaultConfig::none(1));
+        heavy_window(&mut c, &p, 2);
+        // The target acks the deploy but keeps running the old program;
+        // only the fingerprint verification can catch this.
+        c.target.inject_next(InjectedFault::TornDeployStale, 1);
+        let r = c.tick().unwrap();
+        assert!(
+            r.deployed,
+            "verification must trigger a winning retry: {r:?}"
+        );
+        assert_eq!(r.health.deploy_retries, 1);
+        // The deployed program really is the optimized one.
+        assert_eq!(
+            c.target.fingerprint().unwrap(),
+            graph_fingerprint(c.last_known_good())
+        );
+    }
+
+    #[test]
+    fn exhausted_deploy_rolls_back_to_last_known_good() {
+        let p = AclPipeline::build(3, 3);
+        let cfg = ControllerConfig {
+            max_deploy_retries: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = faulty_controller_for(&p, cfg, FaultConfig::none(1));
+        heavy_window(&mut c, &p, 2);
+        // Both attempts of the candidate transaction fail; the rollback
+        // deploy (third deploy call) succeeds.
+        c.target.inject_next(InjectedFault::DeployReject, 2);
+        let r = c.tick().unwrap();
+        assert!(!r.deployed, "{r:?}");
+        assert_eq!(r.health.consecutive_deploy_failures, 1);
+        assert_eq!(r.health.rollbacks, 1);
+        assert!(!r.health.pin_pending);
+        // Target still runs the last-known-good (= original) program.
+        assert_eq!(
+            c.target.fingerprint().unwrap(),
+            graph_fingerprint(c.last_known_good())
+        );
+        // The next window with the same pressure deploys cleanly.
+        heavy_window(&mut c, &p, 3);
+        let r2 = c.tick().unwrap();
+        assert!(r2.deployed, "{r2:?}");
+        assert_eq!(r2.health.consecutive_deploy_failures, 0);
+    }
+
+    #[test]
+    fn circuit_breaker_degrades_then_recovers() {
+        let p = AclPipeline::build(3, 3);
+        let cfg = ControllerConfig {
+            always_reoptimize: true,
+            max_deploy_retries: 1,
+            degrade_after: 3,
+            cooldown_ticks: 2,
+            ..ControllerConfig::default()
+        };
+        let mut faults = FaultConfig::none(1);
+        faults.deploy_reject_p = 1.0; // every deploy fails while armed
+        let mut c = faulty_controller_for(&p, cfg, faults);
+        // Ticks 1-3: every candidate deploy is rejected. The rollback
+        // "succeeds" via readback (the target never left the last-known-
+        // good program), so the loop is healthy-but-stuck; the breaker
+        // opens after `degrade_after` consecutive failed transactions.
+        heavy_window(&mut c, &p, 1);
+        let r1 = c.tick().unwrap();
+        assert!(!r1.deployed);
+        assert_eq!(r1.health.consecutive_deploy_failures, 1);
+        assert_eq!(r1.health.rollbacks, 1);
+        assert!(!r1.health.pin_pending, "target never diverged: {r1:?}");
+        heavy_window(&mut c, &p, 2);
+        let r2 = c.tick().unwrap();
+        assert_eq!(r2.health.consecutive_deploy_failures, 2);
+        assert!(!r2.health.degraded);
+        heavy_window(&mut c, &p, 3);
+        let r3 = c.tick().unwrap();
+        assert!(r3.health.degraded, "{r3:?}");
+        assert_eq!(r3.health.cooldown_remaining, 2);
+        // Degraded ticks: no re-optimization, original stays pinned,
+        // cooldown counts down over healthy windows.
+        heavy_window(&mut c, &p, 1);
+        let r4 = c.tick().unwrap();
+        assert!(r4.health.degraded, "still cooling down: {r4:?}");
+        assert!(!r4.reoptimized, "degraded mode suspends optimization");
+        assert_eq!(
+            c.target.fingerprint().unwrap(),
+            graph_fingerprint(c.original()),
+            "degraded mode pins the original program"
+        );
+        heavy_window(&mut c, &p, 2);
+        let r5 = c.tick().unwrap();
+        assert!(!r5.health.degraded, "breaker closes after cooldown: {r5:?}");
+        assert_eq!(r5.health.consecutive_deploy_failures, 0);
+        // Fault clears: re-optimization resumes and deploys land again.
+        c.target.set_armed(false);
+        heavy_window(&mut c, &p, 4);
+        let r6 = c.tick().unwrap();
+        assert!(r6.reoptimized, "{r6:?}");
+        assert!(r6.deployed, "{r6:?}");
+    }
+
+    #[test]
+    fn revert_failure_is_typed_and_next_tick_repairs() {
+        let p = AclPipeline::build(3, 3);
+        let mut c = faulty_controller_for(&p, ControllerConfig::default(), FaultConfig::none(1));
+        heavy_window(&mut c, &p, 2);
+        let r = c.tick().unwrap();
+        assert!(r.deployed, "need an optimized layout to revert: {r:?}");
+        // All deploys fail during the revert.
+        c.target
+            .inject_next(InjectedFault::DeployReject, 1 + c.cfg.max_deploy_retries);
+        let err = c.revert_to_original().unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::RollbackFailed { .. }),
+            "{err:?}"
+        );
+        assert!(c.health().pin_pending);
+        // The next tick's repair pass re-pins the original program. No
+        // traffic this window, so nothing re-optimizes afterwards and we
+        // can observe the repaired state directly.
+        let _ = c.tick().unwrap();
+        assert!(!c.health().pin_pending);
+        assert!(c.applied().is_none());
+        assert_eq!(
+            c.target.fingerprint().unwrap(),
+            graph_fingerprint(c.original())
+        );
+    }
+
+    #[test]
+    fn lost_profile_window_is_not_drift() {
+        let p = AclPipeline::build(3, 3);
+        let mut c = faulty_controller_for(&p, ControllerConfig::default(), FaultConfig::none(1));
+        heavy_window(&mut c, &p, 2);
+        let r1 = c.tick().unwrap();
+        assert!(r1.deployed, "{r1:?}");
+        // The next window's profile is lost entirely.
+        heavy_window(&mut c, &p, 2);
+        c.target.inject_next(InjectedFault::ProfileLoss, 1);
+        let r2 = c.tick().unwrap();
+        assert!(!r2.reoptimized, "an empty window must not look like drift");
+        assert!(!r2.deployed);
+        assert_eq!(r2.profile_change, 0.0);
+        assert_eq!(r2.health.profile_losses, 1);
+        // A healthy window with the SAME traffic as window 1 compares
+        // against window 1's baseline (not the empty one) -> no storm.
+        heavy_window(&mut c, &p, 2);
+        let r3 = c.tick().unwrap();
+        assert!(!r3.deployed, "spurious redeploy after profile loss: {r3:?}");
     }
 }

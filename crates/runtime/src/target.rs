@@ -31,6 +31,37 @@ pub trait Target {
     fn reconfig_downtime_s(&self) -> f64 {
         0.0
     }
+    /// Readback hook: a fingerprint of the program the target is
+    /// *actually* running, for post-deploy verification. Targets that
+    /// cannot read their program back return `None`; the controller then
+    /// trusts the deploy return code alone (and cannot detect torn
+    /// deploys).
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// FNV-1a over a byte string; the shared fingerprint primitive so the
+/// controller and targets agree on hashes without a `Hash` impl on
+/// [`ProgramGraph`] (and without relying on `DefaultHasher`'s unstable
+/// algorithm).
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of a program graph via its canonical JSON form. Graphs
+/// that fail to serialize (should not happen for validated graphs) get a
+/// sentinel that never matches a real hash comparison.
+pub fn graph_fingerprint(g: &ProgramGraph) -> u64 {
+    match pipeleon_ir::json::to_json_string(g) {
+        Ok(s) => fingerprint_bytes(s.as_bytes()),
+        Err(_) => u64::MAX,
+    }
 }
 
 /// [`Target`] wrapper for the software emulator, with configurable
@@ -98,6 +129,10 @@ impl<N: NicBackend> Target for SimTarget<N> {
     fn reconfig_downtime_s(&self) -> f64 {
         self.downtime_s
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(graph_fingerprint(self.nic.graph()))
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +157,26 @@ mod tests {
         t.deploy(g).unwrap();
         let p = t.take_profile();
         assert_eq!(p.total_packets, 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_deployed_program() {
+        let g = simple_graph();
+        let nic = SmartNic::new(g.clone(), CostParams::bluefield2()).unwrap();
+        let mut t = SimTarget::live(nic);
+        let fp0 = t.fingerprint().unwrap();
+        assert_eq!(
+            fp0,
+            graph_fingerprint(&g),
+            "readback matches the source graph"
+        );
+        // Mutating the running program changes the fingerprint.
+        t.insert_entry(
+            pipeleon_ir::NodeId(0),
+            pipeleon_ir::TableEntry::new(vec![pipeleon_ir::MatchValue::Exact(1)], 0),
+        )
+        .unwrap();
+        assert_ne!(t.fingerprint().unwrap(), fp0);
     }
 
     #[test]

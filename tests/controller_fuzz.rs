@@ -92,6 +92,14 @@ fn controller_survives_random_phases_and_churn() {
     // The controller must have reconfigured at least once under this much
     // drift.
     assert!(c.reconfig_count >= 1);
+    // A fault-free run must report clean health: no retries, rollbacks,
+    // degraded mode, or pending pins.
+    let h = c.health();
+    assert!(!h.degraded && !h.pin_pending, "{h:?}");
+    assert_eq!(h.deploy_retries, 0);
+    assert_eq!(h.rollbacks, 0);
+    assert_eq!(h.consecutive_deploy_failures, 0);
+    assert_eq!(h.profile_losses, 0);
 }
 
 #[test]
@@ -191,6 +199,9 @@ fn controller_survives_churn_on_sharded_target() {
         }
     }
     assert!(c.reconfig_count >= 1);
+    let h = c.health();
+    assert!(!h.degraded && !h.pin_pending, "{h:?}");
+    assert_eq!(h.rollbacks, 0);
 }
 
 #[test]
