@@ -10,19 +10,29 @@ pub struct Args {
     flags: HashMap<String, String>,
 }
 
-/// Parses `argv` (without the program name). Flags take exactly one value;
-/// a trailing flag without a value is an error.
+/// Flags that take no value (presence alone means `true`). Every other
+/// flag consumes exactly one value.
+const BOOL_FLAGS: &[&str] = &["deny-warnings"];
+
+/// Parses `argv` (without the program name). Flags take exactly one value
+/// unless listed in [`BOOL_FLAGS`]; a trailing valued flag without its
+/// value is an error.
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut out = Args::default();
     let mut i = 0;
     while i < argv.len() {
         let a = &argv[i];
         if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} is missing its value"))?;
-            out.flags.insert(name.to_owned(), value.clone());
-            i += 2;
+            if BOOL_FLAGS.contains(&name) {
+                out.flags.insert(name.to_owned(), "true".to_owned());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+                out.flags.insert(name.to_owned(), value.clone());
+                i += 2;
+            }
         } else {
             out.positional.push(a.clone());
             i += 1;
@@ -50,6 +60,11 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("flag --{name}: {v:?} is not a number")),
         }
+    }
+
+    /// Boolean flag: `true` iff present on the command line.
+    pub fn get_bool(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// Integer flag with a default.
@@ -101,5 +116,22 @@ mod tests {
     #[test]
     fn missing_value_is_error() {
         assert!(parse(&v(&["x", "--target"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse(&v(&[
+            "analyze",
+            "p.json",
+            "--deny-warnings",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(a.positional, vec!["analyze", "p.json"]);
+        assert!(a.get_bool("deny-warnings"));
+        assert_eq!(a.get("format"), Some("json"));
+        let b = parse(&v(&["analyze", "p.json"])).unwrap();
+        assert!(!b.get_bool("deny-warnings"));
     }
 }

@@ -9,6 +9,7 @@ use pipeleon_cost::{Calibrator, CostModel, CostParams, ResourceModel, RuntimePro
 use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::ProgramGraph;
 use pipeleon_sim::{Packet, ShardedNic, SmartNic};
+use pipeleon_verify::{lint_program, render_report, render_report_json, LintConfig, Severity};
 use pipeleon_workloads::traffic::FlowGen;
 
 const USAGE: &str = "\
@@ -21,6 +22,8 @@ USAGE:
            [--flows N] [--zipf S] [--seed S] [--trace t.trace]
            [--workers N] [--profile-out p.json]
            [--chaos-seed S [--windows N]]
+  pipeleon analyze  <program> [--target T] [--deny-warnings]
+           [--format text|json]
   pipeleon inspect  <program> [--target T] [--profile p.json]
   pipeleon build    <program.p4> [-o out.json]
   pipeleon calibrate [--target T]
@@ -34,6 +37,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match args.positional.first().map(String::as_str) {
         Some("optimize") => optimize(&args),
         Some("simulate") => simulate(&args),
+        Some("analyze") => analyze(&args),
         Some("inspect") => inspect(&args),
         Some("build") => build(&args),
         Some("calibrate") => calibrate(&args),
@@ -79,9 +83,57 @@ fn load_profile(args: &Args, g: &ProgramGraph) -> Result<RuntimeProfile, String>
     }
 }
 
+/// `analyze`: run the static program lints and print the diagnostic
+/// report. Exits nonzero on any error-severity diagnostic, or on any
+/// diagnostic at all under `--deny-warnings`.
+fn analyze(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    let diags = lint_program(&g, &LintConfig::with_params(params));
+    match args.get_or("format", "text") {
+        "text" => println!("{}", render_report(&diags)),
+        "json" => println!("{}", render_report_json(&diags)),
+        other => return Err(format!("unknown --format {other:?} (text | json)")),
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if errors > 0 {
+        Err(format!("analysis failed: {errors} error(s)"))
+    } else if warnings > 0 && args.get_bool("deny-warnings") {
+        Err(format!(
+            "analysis failed: {warnings} warning(s) with --deny-warnings"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Refuses to run a program the verifier proves broken (error-severity
+/// lints); warnings are advisory and do not block.
+fn lint_preflight(g: &ProgramGraph, params: &CostParams) -> Result<(), String> {
+    let errors: Vec<_> = lint_program(g, &LintConfig::with_params(params.clone()))
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    if errors.is_empty() {
+        return Ok(());
+    }
+    let mut msg = String::from("program rejected by the verifier:\n");
+    for d in &errors {
+        msg.push_str(&d.render_text());
+        msg.push('\n');
+    }
+    msg.push_str("(run `pipeleon analyze` for the full report)");
+    Err(msg)
+}
+
 fn optimize(args: &Args) -> Result<(), String> {
     let params = target(args)?;
     let g = load_program(args)?;
+    lint_preflight(&g, &params)?;
     let profile = load_profile(args, &g)?;
     let cfg = OptimizerConfig {
         top_k_fraction: args.get_f64("top-k", 0.3)?,
@@ -104,6 +156,12 @@ fn optimize(args: &Args) -> Result<(), String> {
     }
     if outcome.applied.summary.is_empty() {
         eprintln!("  (no profitable transformation found; output = input layout)");
+    }
+    if outcome.candidates_rejected > 0 {
+        eprintln!(
+            "  {} candidate(s) rejected by the plan-safety verifier",
+            outcome.candidates_rejected
+        );
     }
     let json = to_json_string(&outcome.applied.graph).map_err(|e| e.to_string())?;
     match args.get("o") {
@@ -139,6 +197,7 @@ fn build(args: &Args) -> Result<(), String> {
 fn simulate(args: &Args) -> Result<(), String> {
     let params = target(args)?;
     let g = load_program(args)?;
+    lint_preflight(&g, &params)?;
     let packets = args.get_usize("packets", 20_000)?;
     let flows = args.get_usize("flows", 1000)?;
     let zipf = args.get_f64("zipf", 0.0)?;
@@ -560,6 +619,76 @@ mod tests {
             "2",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn examples_dir() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs")
+    }
+
+    #[test]
+    fn analyze_clean_examples_pass_deny_warnings() {
+        let mut checked = 0;
+        for e in std::fs::read_dir(examples_dir()).unwrap() {
+            let p = e.unwrap().path();
+            if p.extension().is_some_and(|x| x == "json") {
+                run(&v(&["analyze", p.to_str().unwrap(), "--deny-warnings"]))
+                    .unwrap_or_else(|e| panic!("{p:?} must be lint-clean: {e}"));
+                checked += 1;
+            }
+        }
+        assert!(
+            checked >= 3,
+            "expected >= 3 example programs, saw {checked}"
+        );
+    }
+
+    #[test]
+    fn analyze_negative_fixture_fails_and_blocks_other_commands() {
+        let p = examples_dir().join("negative/uninit_meta.json");
+        let p = p.to_str().unwrap();
+        let err = run(&v(&["analyze", p])).unwrap_err();
+        assert!(err.contains("analysis failed"), "{err}");
+        // The same broken program is refused by simulate and optimize.
+        let err = run(&v(&["simulate", p, "--packets", "100"])).unwrap_err();
+        assert!(err.contains("PV001"), "{err}");
+        let err = run(&v(&["optimize", p])).unwrap_err();
+        assert!(err.contains("PV001"), "{err}");
+    }
+
+    #[test]
+    fn analyze_format_flag() {
+        let p = examples_dir().join("acl_chain.json");
+        let p = p.to_str().unwrap();
+        run(&v(&["analyze", p, "--format", "json"])).unwrap();
+        run(&v(&["analyze", p, "--format", "text"])).unwrap();
+        let err = run(&v(&["analyze", p, "--format", "xml"])).unwrap_err();
+        assert!(err.contains("unknown --format"), "{err}");
+    }
+
+    #[test]
+    fn analyze_warnings_pass_without_deny_warnings() {
+        // A program with a dead action -> PV003 warning only:
+        // plain analyze passes, --deny-warnings fails.
+        use pipeleon_ir::{MatchKind, MatchValue, ProgramBuilder, TableEntry};
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test7_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = ProgramBuilder::named("warn_only");
+        let f = b.field("x");
+        let main = b
+            .table("main")
+            .key(f, MatchKind::Exact)
+            .action_nop("permit")
+            .action_drop("deny")
+            .action_nop("never_used")
+            .entry(TableEntry::new(vec![MatchValue::Exact(3)], 1))
+            .finish();
+        let g = b.seal(main).unwrap();
+        let prog = dir.join("warn_only.json");
+        std::fs::write(&prog, to_json_string(&g).unwrap()).unwrap();
+        run(&v(&["analyze", prog.to_str().unwrap()])).unwrap();
+        let err = run(&v(&["analyze", prog.to_str().unwrap(), "--deny-warnings"])).unwrap_err();
+        assert!(err.contains("warning"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -62,6 +62,29 @@ pub struct Candidate {
 }
 
 impl Candidate {
+    /// The verifier-facing description of this candidate, consumed by
+    /// [`pipeleon_verify::PlanVerifier::verify`].
+    pub fn to_spec(&self) -> pipeleon_verify::CandidateSpec {
+        pipeleon_verify::CandidateSpec {
+            order: self.order.clone(),
+            segments: self
+                .segments
+                .iter()
+                .map(|s| pipeleon_verify::SegmentSpec {
+                    start: s.start,
+                    end: s.end,
+                    kind: match s.kind {
+                        SegmentKind::Cache => pipeleon_verify::RewriteKind::Cache,
+                        SegmentKind::Merge { as_cache } => {
+                            pipeleon_verify::RewriteKind::Merge { as_cache }
+                        }
+                    },
+                })
+                .collect(),
+            group_branch: self.group_branch,
+        }
+    }
+
     /// The identity candidate (no change, zero gain/cost).
     pub fn noop(pipelet: usize, order: Vec<NodeId>) -> Self {
         Self {

@@ -119,8 +119,13 @@ pub struct OptimizationOutcome {
     pub scores: Vec<PipeletScore>,
     /// Ids of the pipelets selected as top-k.
     pub selected: Vec<usize>,
-    /// Total candidates evaluated across pipelets (search effort).
+    /// Total candidates evaluated across pipelets (search effort, after
+    /// safety filtering).
     pub candidates_evaluated: usize,
+    /// Candidates discarded because the plan-safety verifier could not
+    /// prove them legal (always 0 unless enumeration produced an unsound
+    /// rewrite — the verifier is the backstop, not the generator).
+    pub candidates_rejected: usize,
     /// Candidates served from the incremental cache instead of
     /// re-enumerated (always 0 for [`Optimizer::optimize`]).
     pub candidates_reused: usize,
@@ -232,6 +237,7 @@ impl Optimizer {
     ) -> Result<OptimizationOutcome, IrError> {
         let started = Instant::now();
         g.validate()?;
+        let verifier = pipeleon_verify::PlanVerifier::new(g);
         let pipelets = partition(g, self.cfg.max_pipelet_len);
         let scores = score_pipelets(&self.model, g, profile, &pipelets);
         let selected = top_k(&scores, self.cfg.top_k_fraction);
@@ -242,6 +248,7 @@ impl Optimizer {
         let mut group_of_pipelet: Vec<Option<usize>> = vec![None; pipelets.len()];
         let mut candidates_evaluated = 0usize;
         let mut candidates_reused = 0usize;
+        let mut candidates_rejected = 0usize;
         for &pid in &selected {
             let p = &pipelets[pid];
             if p.switch_case {
@@ -268,8 +275,13 @@ impl Optimizer {
                     c
                 }
                 None => {
-                    let cands =
+                    let mut cands =
                         enumerate_candidates(&ctx, pid, &p.tables, MAX_CANDIDATES_PER_PIPELET);
+                    // Safety gate: only candidates the verifier can prove
+                    // legal survive (and get cached for reuse).
+                    let enumerated = cands.len();
+                    cands.retain(|c| verifier.verify(g, &c.to_spec()).legal);
+                    candidates_rejected += enumerated - cands.len();
                     candidates_evaluated += cands.len();
                     if let (Some(s), Some(sig)) = (&mut state, signature) {
                         s.store(pid, p.tables.clone(), sig, cands.clone());
@@ -296,6 +308,10 @@ impl Optimizer {
                 let Some(gc) = self.group_candidate(g, profile, &pipelets, &pg, &visits) else {
                     continue;
                 };
+                if !verifier.verify(g, &gc.to_spec()).legal {
+                    candidates_rejected += 1;
+                    continue;
+                }
                 candidates_evaluated += 1;
                 // The group cache absorbs the member pipelets *and* the
                 // common join pipelet (its tables are covered too), so all
@@ -344,6 +360,7 @@ impl Optimizer {
             selected,
             candidates_evaluated,
             candidates_reused,
+            candidates_rejected,
             search_time,
         })
     }
@@ -608,6 +625,38 @@ mod tests {
             out.applied.graph.validate().unwrap();
             // Gains are never negative.
             assert!(out.est_gain_ns >= 0.0);
+        }
+    }
+
+    #[test]
+    fn generator_and_verifier_agree_on_synth_programs() {
+        // The safety gate is a backstop: enumeration should never produce
+        // a candidate the verifier rejects, across a seed sweep.
+        use pipeleon_workloads::synth::{synthesize, SynthConfig};
+        let model = CostModel::new(CostParams::emulated_nic());
+        for seed in 0..8 {
+            let g = synthesize(&SynthConfig {
+                pipelets: 6,
+                pipelet_len: 4,
+                seed,
+                ..SynthConfig::default()
+            });
+            let prof = pipeleon_workloads::profiles::random_profile(
+                &g,
+                &pipeleon_workloads::profiles::ProfileSynthConfig::default(),
+                seed,
+            );
+            let out = Optimizer::new(model.clone())
+                .esearch()
+                .optimize(&g, &prof, ResourceLimits::unlimited())
+                .unwrap();
+            assert_eq!(out.candidates_rejected, 0, "seed {seed}: {:?}", out.plan);
+            // Every *chosen* candidate re-verifies independently.
+            let verifier = pipeleon_verify::PlanVerifier::new(&g);
+            for c in &out.plan.choices {
+                let verdict = verifier.verify(&g, &c.to_spec());
+                assert!(verdict.legal, "seed {seed}: {}", verdict.render());
+            }
         }
     }
 

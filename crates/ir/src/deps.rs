@@ -11,6 +11,40 @@
 //! the final state is unobservable. A hazard only exists when one table's
 //! *match or condition* reads a field the other *writes* — which is exactly
 //! the field-level RAW test below.
+//!
+//! # Read classes and the predicate hierarchy (audited)
+//!
+//! [`RwSets`] deliberately keeps two read classes apart:
+//!
+//! * **match reads** ([`RwSets::match_reads`]) — fields consulted *before*
+//!   any action runs: table keys and branch conditions. They select which
+//!   action fires, so they are sensitive to any earlier write.
+//! * **action reads** ([`RwSets::action_reads`]) — fields read by action
+//!   primitives *while* they execute. They matter only for transformations
+//!   that change the relative order of primitive execution.
+//!
+//! The three predicates use those classes differently, giving a strict
+//! one-way hierarchy:
+//!
+//! * [`DependencyAnalysis::commute`] — the strongest: checks **all** reads
+//!   plus WAW, because reordering swaps both match evaluation *and*
+//!   primitive execution order.
+//! * [`DependencyAnalysis::mergeable`] — strictly weaker: only
+//!   cross-table *match* RAW matters. A merged table evaluates both key
+//!   sets up front, then replays the winning actions' primitives in the
+//!   original program order — so action-read RAW and WAW hazards are
+//!   harmless (see `waw_hazard_blocks_reorder_but_not_merge` and
+//!   `action_read_hazard_blocks_reorder_only` below).
+//! * [`DependencyAnalysis::cacheable_segment`] — directional: an earlier
+//!   table must not write a *later* table's match field, else the segment
+//!   entry key does not determine the outcome. Action reads and WAW are
+//!   fine because a cache hit replays the recorded final action, and a
+//!   miss executes the segment unchanged.
+//!
+//! Hence `commute(a, b)` implies `mergeable(a, b)` and
+//! `cacheable_segment(&[a, b])`, but **neither converse holds** — merging
+//! or caching a pair is often legal when reordering it is not. Regression
+//! tests at the bottom of this file pin the hierarchy.
 
 use crate::graph::{Node, NodeKind};
 use crate::table::Table;
@@ -101,9 +135,12 @@ impl DependencyAnalysis {
     /// matches must not depend on each other's writes, because the merged
     /// table matches both keys *before* running either action.
     ///
-    /// Action-level hazards (`a` writes a field `b`'s action reads) are
-    /// allowed because the merged action preserves the original execution
-    /// order of the primitives.
+    /// Action-level hazards (`a` writes a field `b`'s action reads, or
+    /// both write the same field) are allowed because the merged action
+    /// preserves the original execution order of the primitives. This
+    /// makes `mergeable` deliberately **weaker** than [`Self::commute`]:
+    /// a mergeable pair need not be reorderable, and a merge must never
+    /// be justified by (or used to justify) a reorder.
     pub fn mergeable(a: &RwSets, b: &RwSets) -> bool {
         let match_raw_ab = a.writes.iter().any(|w| b.match_reads.contains(w));
         let match_raw_ba = b.writes.iter().any(|w| a.match_reads.contains(w));
@@ -237,6 +274,58 @@ mod tests {
         let s1 = RwSets::of_table(&table_matching_writing(&[1, 2], &[]));
         let key = DependencyAnalysis::segment_key_fields(&[s0, s1]);
         assert_eq!(key, vec![f(0), f(1), f(2)]);
+    }
+
+    #[test]
+    fn commute_implies_mergeable_and_cacheable() {
+        // The hierarchy over a small fixture matrix: wherever commute
+        // holds, the weaker predicates must hold in both orders.
+        let fixtures = [
+            table_matching_writing(&[0], &[1]),
+            table_matching_writing(&[2], &[3]),
+            table_matching_writing(&[1], &[2]),
+            table_matching_writing(&[0, 2], &[5]),
+            table_matching_writing(&[5], &[]),
+        ];
+        for ta in &fixtures {
+            for tb in &fixtures {
+                let a = RwSets::of_table(ta);
+                let b = RwSets::of_table(tb);
+                if DependencyAnalysis::commute(&a, &b) {
+                    assert!(DependencyAnalysis::mergeable(&a, &b));
+                    assert!(DependencyAnalysis::cacheable_segment(&[
+                        a.clone(),
+                        b.clone()
+                    ]));
+                    assert!(DependencyAnalysis::cacheable_segment(&[b, a]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mergeable_does_not_imply_commute() {
+        // WAW counterexample: merge keeps primitive order, reorder does not.
+        let a = RwSets::of_table(&table_matching_writing(&[0], &[5]));
+        let b = RwSets::of_table(&table_matching_writing(&[1], &[5]));
+        assert!(DependencyAnalysis::mergeable(&a, &b));
+        assert!(!DependencyAnalysis::commute(&a, &b));
+    }
+
+    #[test]
+    fn cacheable_does_not_imply_commute() {
+        // a's action reads a field b writes: a cache over [a, b] is fine
+        // (the entry key still determines the outcome), swapping is not.
+        let mut ta = table_matching_writing(&[0], &[]);
+        ta.actions = vec![Action::new("a", vec![Primitive::add(f(7), 1)])];
+        let b_tbl = table_matching_writing(&[1], &[7]);
+        let a = RwSets::of_table(&ta);
+        let b = RwSets::of_table(&b_tbl);
+        assert!(DependencyAnalysis::cacheable_segment(&[
+            a.clone(),
+            b.clone()
+        ]));
+        assert!(!DependencyAnalysis::commute(&a, &b));
     }
 
     #[test]

@@ -94,6 +94,10 @@ pub struct HealthReport {
     /// A rollback deploy failed: the target may run a stale layout; the
     /// controller re-attempts the pin at the start of the next tick.
     pub pin_pending: bool,
+    /// Plans the safety verifier refused to deploy (the optimizer filters
+    /// candidates itself, so any nonzero count means a gate caught an
+    /// unsound plan that slipped through).
+    pub plan_rejections: u64,
 }
 
 /// What one tick did.
@@ -232,7 +236,12 @@ impl<T: Target> Controller<T> {
     /// against the readback in both directions, so torn deploys — applied
     /// but reported failed, or acked but never applied — are detected.
     fn deploy_transaction(&mut self, graph: ProgramGraph, json: &str) -> Result<(), RuntimeError> {
-        graph.validate().map_err(RuntimeError::InvalidCandidate)?;
+        graph
+            .validate()
+            .map_err(|e| RuntimeError::InvalidCandidate {
+                source: Some(e),
+                violations: Vec::new(),
+            })?;
         let expected = fingerprint_bytes(json.as_bytes());
         let mut attempts = 0u32;
         let mut last: Option<RuntimeError> = None;
@@ -455,6 +464,16 @@ impl<T: Target> Controller<T> {
             let worth_it = outcome.est_gain_ns >= self.cfg.min_gain_ns
                 || (outcome.plan.is_empty() && self.applied.is_some());
             if worth_it && candidate_json != self.last_good.json {
+                // Safety gate: refuse to deploy any plan the verifier
+                // cannot prove legal. The search already filters illegal
+                // candidates, so this rejecting is an invariant breach —
+                // counted, skipped, and the loop stays alive.
+                if self.verify_plan(&outcome.plan).is_err() {
+                    self.health.plan_rejections += 1;
+                    self.last_profile = Some(profile);
+                    report.health = self.health.clone();
+                    return Ok(report);
+                }
                 let summary = outcome.applied.summary.clone();
                 let cache_nodes = outcome.applied.cache_nodes.clone();
                 if self.deploy_candidate_or_recover(outcome.applied, candidate_json) {
@@ -473,6 +492,74 @@ impl<T: Target> Controller<T> {
         self.last_profile = Some(profile);
         report.health = self.health.clone();
         Ok(report)
+    }
+
+    /// Checks every choice of `plan` against the plan-safety verifier
+    /// ([`pipeleon_verify::PlanVerifier`]), collecting all violations.
+    fn verify_plan(&self, plan: &pipeleon::plan::GlobalPlan) -> Result<(), RuntimeError> {
+        let verifier = pipeleon_verify::PlanVerifier::new(&self.original);
+        let mut violations = Vec::new();
+        for c in &plan.choices {
+            violations.extend(verifier.verify(&self.original, &c.to_spec()).violations);
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(RuntimeError::InvalidCandidate {
+                source: None,
+                violations,
+            })
+        }
+    }
+
+    /// Verifies and deploys an externally supplied optimization plan
+    /// (operator-initiated reconfiguration).
+    ///
+    /// The plan is first proven safe by the [`pipeleon_verify`] plan
+    /// verifier; a rejected plan returns
+    /// [`RuntimeError::InvalidCandidate`] with the violations found and
+    /// performs **no target operation whatsoever** — the deployed layout
+    /// and the target's fingerprint are untouched. Legal plans are
+    /// applied against the original program and deployed through the same
+    /// transactional path as [`Controller::tick`].
+    pub fn deploy_plan(&mut self, plan: &pipeleon::plan::GlobalPlan) -> Result<(), RuntimeError> {
+        self.verify_plan(plan)?;
+        let profile = self
+            .last_profile
+            .clone()
+            .unwrap_or_else(RuntimeProfile::empty);
+        let applied = pipeleon::apply::apply_plan(
+            &self.original,
+            plan,
+            &self.optimizer.model,
+            &profile,
+            &self.optimizer.cfg,
+        )
+        .map_err(|e| RuntimeError::InvalidCandidate {
+            source: Some(e),
+            violations: Vec::new(),
+        })?;
+        let json = to_json_string(&applied.graph)?;
+        if json == self.last_good.json {
+            return Ok(()); // already running this layout
+        }
+        match self.deploy_transaction(applied.graph.clone(), &json) {
+            Ok(()) => {
+                self.health.consecutive_deploy_failures = 0;
+                self.last_good = DeployedState {
+                    graph: applied.graph.clone(),
+                    json,
+                };
+                self.applied = Some(applied);
+                self.reconfig_count += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.health.consecutive_deploy_failures += 1;
+                self.recover_deployed_state();
+                Err(e)
+            }
+        }
     }
 
     /// Inserts an entry into original-program table `table`, routing the
@@ -1270,5 +1357,110 @@ mod tests {
         heavy_window(&mut c, &p, 2);
         let r3 = c.tick().unwrap();
         assert!(!r3.deployed, "spurious redeploy after profile loss: {r3:?}");
+    }
+
+    /// A two-table program with a read-after-write hazard (`t0` writes the
+    /// field `t1` matches on), plus a plan swapping them — illegal — and a
+    /// plan caching `t1` in place — legal.
+    fn hazard_controller() -> (
+        Controller<SimTarget>,
+        pipeleon::plan::GlobalPlan,
+        pipeleon::plan::GlobalPlan,
+    ) {
+        use pipeleon::plan::{Candidate, GlobalPlan, Segment, SegmentKind};
+        let mut b = ProgramBuilder::new();
+        let fa = b.field("a");
+        let fw = b.field("w");
+        let t0 = b
+            .table("t0")
+            .key(fa, MatchKind::Exact)
+            .action("wr", vec![pipeleon_ir::Primitive::set(fw, 7)])
+            .entry(pipeleon_ir::TableEntry::new(vec![MatchValue::Exact(1)], 0))
+            .finish();
+        let t1 = b
+            .table("t1")
+            .key(fw, MatchKind::Exact)
+            .entry(pipeleon_ir::TableEntry::new(vec![MatchValue::Exact(7)], 0))
+            .finish();
+        let g = b.seal_sequential().unwrap();
+        let nic = SmartNic::new(g.clone(), CostParams::bluefield2()).unwrap();
+        let optimizer = Optimizer::new(CostModel::new(CostParams::bluefield2()));
+        let c = Controller::new(
+            SimTarget::live(nic),
+            g,
+            optimizer,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        let plan_with = |order: Vec<NodeId>, segments: Vec<Segment>| GlobalPlan {
+            choices: vec![Candidate {
+                pipelet: 0,
+                order,
+                segments,
+                gain: 10.0,
+                mem_cost: 0.0,
+                update_cost: 0.0,
+                group_branch: None,
+            }],
+            total_gain: 10.0,
+            total_mem: 0.0,
+            total_update: 0.0,
+        };
+        let illegal = plan_with(vec![t1, t0], Vec::new());
+        let legal = plan_with(
+            vec![t0, t1],
+            vec![Segment {
+                start: 1,
+                end: 2,
+                kind: SegmentKind::Cache,
+            }],
+        );
+        (c, illegal, legal)
+    }
+
+    #[test]
+    fn verifier_rejected_plan_is_never_deployed() {
+        let (mut c, illegal, _) = hazard_controller();
+        let fp_before = c.target.fingerprint().unwrap();
+        let reconfigs_before = c.reconfig_count;
+        let err = c.deploy_plan(&illegal).unwrap_err();
+        match &err {
+            RuntimeError::InvalidCandidate { source, violations } => {
+                assert!(source.is_none(), "{err:?}");
+                assert!(
+                    violations
+                        .iter()
+                        .any(|v| v.code == pipeleon_verify::Code::ReorderHazard),
+                    "{violations:?}"
+                );
+            }
+            other => panic!("expected InvalidCandidate, got {other:?}"),
+        }
+        // No target operation happened: the running program, the
+        // reconfiguration counter, and the applied layout are untouched.
+        assert_eq!(c.target.fingerprint().unwrap(), fp_before);
+        assert_eq!(c.reconfig_count, reconfigs_before);
+        assert!(c.applied().is_none());
+        assert_eq!(
+            c.target.fingerprint().unwrap(),
+            graph_fingerprint(c.original())
+        );
+    }
+
+    #[test]
+    fn legal_plan_deploys_through_the_safety_gate() {
+        let (mut c, _, legal) = hazard_controller();
+        let fp_before = c.target.fingerprint().unwrap();
+        c.deploy_plan(&legal).unwrap();
+        assert_eq!(c.reconfig_count, 1);
+        assert!(c.applied().is_some());
+        assert_ne!(
+            c.target.fingerprint().unwrap(),
+            fp_before,
+            "a cache rewrite must change the deployed layout"
+        );
+        // Redeploying the identical plan is a no-op (already running).
+        c.deploy_plan(&legal).unwrap();
+        assert_eq!(c.reconfig_count, 1);
     }
 }

@@ -8,14 +8,21 @@
 //! (and tests) can react per class instead of pattern-matching strings.
 
 use pipeleon_ir::{IrError, NodeId};
+use pipeleon_verify::Violation;
 use std::fmt;
 
 /// Errors from the runtime controller and its target interactions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
-    /// A candidate layout failed validation before any target operation
-    /// was attempted (the transaction never started).
-    InvalidCandidate(IrError),
+    /// A candidate failed verification before any target operation was
+    /// attempted (the transaction never started). Carries the structural
+    /// validation error and/or the plan-safety violations found.
+    InvalidCandidate {
+        /// The IR-level validation failure, when structure was the problem.
+        source: Option<IrError>,
+        /// Plan-safety violations from the [`pipeleon_verify`] verifier.
+        violations: Vec<Violation>,
+    },
     /// A deploy transaction failed after exhausting its retry budget.
     /// `attempts` counts every deploy call made (first try + retries).
     DeployFailed {
@@ -62,9 +69,8 @@ impl RuntimeError {
     /// The innermost [`IrError`], when one caused this failure.
     pub fn ir_source(&self) -> Option<&IrError> {
         match self {
-            RuntimeError::InvalidCandidate(e)
-            | RuntimeError::DeployFailed { source: e, .. }
-            | RuntimeError::Ir(e) => Some(e),
+            RuntimeError::InvalidCandidate { source, .. } => source.as_ref(),
+            RuntimeError::DeployFailed { source: e, .. } | RuntimeError::Ir(e) => Some(e),
             RuntimeError::EntryOpFailed { source, .. }
             | RuntimeError::RollbackFailed { source } => source.ir_source(),
             RuntimeError::TornDeploy { .. } | RuntimeError::ProfileUnavailable => None,
@@ -75,7 +81,16 @@ impl RuntimeError {
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::InvalidCandidate(e) => write!(f, "candidate layout invalid: {e}"),
+            RuntimeError::InvalidCandidate { source, violations } => {
+                write!(f, "candidate rejected")?;
+                if let Some(e) = source {
+                    write!(f, ": {e}")?;
+                }
+                for v in violations {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
             RuntimeError::DeployFailed { attempts, source } => {
                 write!(f, "deploy failed after {attempts} attempt(s): {source}")
             }
@@ -103,9 +118,10 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RuntimeError::InvalidCandidate(e)
-            | RuntimeError::DeployFailed { source: e, .. }
-            | RuntimeError::Ir(e) => Some(e),
+            RuntimeError::InvalidCandidate { source, .. } => source
+                .as_ref()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
+            RuntimeError::DeployFailed { source: e, .. } | RuntimeError::Ir(e) => Some(e),
             RuntimeError::EntryOpFailed { source, .. }
             | RuntimeError::RollbackFailed { source } => Some(source.as_ref()),
             RuntimeError::TornDeploy { .. } | RuntimeError::ProfileUnavailable => None,
@@ -132,6 +148,29 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("3 attempt"), "{s}");
         assert!(s.contains("nic rejected"), "{s}");
+    }
+
+    #[test]
+    fn invalid_candidate_renders_violations() {
+        let e = RuntimeError::InvalidCandidate {
+            source: None,
+            violations: vec![pipeleon_verify::Violation {
+                code: pipeleon_verify::Code::ReorderHazard,
+                message: "tables swapped without commuting".into(),
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("candidate rejected"), "{s}");
+        assert!(s.contains("PV102"), "{s}");
+        assert!(s.contains("swapped"), "{s}");
+        assert!(e.ir_source().is_none());
+
+        let with_ir = RuntimeError::InvalidCandidate {
+            source: Some(IrError::Invalid("bad wiring".into())),
+            violations: Vec::new(),
+        };
+        assert!(with_ir.to_string().contains("bad wiring"));
+        assert!(with_ir.ir_source().is_some());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   scenario programs.
 //! * [`opt`] — the Pipeleon optimizer itself (pipelets, top-k detection,
 //!   reorder/cache/merge, knapsack plan search, heterogeneous partitioning).
+//! * [`verify`] — static program lints (`PV0xx` diagnostics) and the
+//!   plan-safety verifier gating every candidate rewrite.
 //! * [`runtime`] — the runtime controller (profiling loop, change detection,
 //!   entry-API mapping).
 //! * [`p4`] — the P4-lite textual frontend (parse pipelines written in a
@@ -26,4 +28,5 @@ pub use pipeleon_ir as ir;
 pub use pipeleon_p4 as p4;
 pub use pipeleon_runtime as runtime;
 pub use pipeleon_sim as sim;
+pub use pipeleon_verify as verify;
 pub use pipeleon_workloads as workloads;

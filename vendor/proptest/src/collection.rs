@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Element count for [`vec`]: an exact size or a range.
+/// Element count for [`vec()`]: an exact size or a range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
