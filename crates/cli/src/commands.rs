@@ -8,7 +8,8 @@ use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
 use pipeleon_cost::{Calibrator, CostModel, CostParams, ResourceModel, RuntimeProfile};
 use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::ProgramGraph;
-use pipeleon_sim::{Packet, ShardedNic, SmartNic};
+use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
+use pipeleon_sim::{BatchStats, ExecObservations, Packet, ShardedNic, SmartNic};
 use pipeleon_verify::{lint_program, render_report, render_report_json, LintConfig, Severity};
 use pipeleon_workloads::traffic::FlowGen;
 
@@ -20,8 +21,12 @@ USAGE:
            [--top-k F] [--memory BYTES] [--updates RATE] [-o out.json]
   pipeleon simulate <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--trace t.trace]
-           [--workers N] [--profile-out p.json]
+           [--workers N] [--sample N] [--profile-out p.json]
+           [--metrics-out m.prom|m.json] [--journal-out j.jsonl]
            [--chaos-seed S [--windows N]]
+  pipeleon metrics  <program> [--target T] [--packets N]
+           [--flows N] [--zipf S] [--seed S] [--sample N]
+           [-o m.prom|m.json]
   pipeleon analyze  <program> [--target T] [--deny-warnings]
            [--format text|json]
   pipeleon inspect  <program> [--target T] [--profile p.json]
@@ -37,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match args.positional.first().map(String::as_str) {
         Some("optimize") => optimize(&args),
         Some("simulate") => simulate(&args),
+        Some("metrics") => metrics_summary(&args),
         Some("analyze") => analyze(&args),
         Some("inspect") => inspect(&args),
         Some("build") => build(&args),
@@ -194,28 +200,26 @@ fn build(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(args: &Args) -> Result<(), String> {
-    let params = target(args)?;
-    let g = load_program(args)?;
-    lint_preflight(&g, &params)?;
-    let packets = args.get_usize("packets", 20_000)?;
+/// Builds the simulation batch: trace-driven replay when `--trace` is
+/// given, otherwise seeded flow-generated traffic over every field any
+/// table matches on.
+fn gen_batch(args: &Args, g: &ProgramGraph, packets: usize) -> Result<Vec<Packet>, String> {
     let flows = args.get_usize("flows", 1000)?;
     let zipf = args.get_f64("zipf", 0.0)?;
     let seed = args.get_usize("seed", 1)? as u64;
-    let workers = args.get_usize("workers", 1)?;
-    let batch: Vec<Packet> = match args.get("trace") {
+    match args.get("trace") {
         Some(path) => {
             // Trace-driven replay, looped to reach the requested count.
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let trace = pipeleon_workloads::trace::Trace::parse(&text, &g)?;
+            let trace = pipeleon_workloads::trace::Trace::parse(&text, g)?;
             if trace.is_empty() {
                 return Err(format!("{path}: trace has no packets"));
             }
             let repeat = packets.div_ceil(trace.len());
-            let mut b = trace.replay(&g, repeat);
+            let mut b = trace.replay(g, repeat);
             b.truncate(packets);
-            b
+            Ok(b)
         }
         None => {
             // Flow fields: every field any table matches on.
@@ -227,11 +231,85 @@ fn simulate(args: &Args) -> Result<(), String> {
                     }
                 }
             }
-            FlowGen::new(g.fields.len(), flow_fields, flows, seed)
+            Ok(FlowGen::new(g.fields.len(), flow_fields, flows, seed)
                 .with_zipf(zipf)
-                .batch(packets)
+                .batch(packets))
         }
+    }
+}
+
+/// Adds the datapath series — packet/table latency histograms from the
+/// executor's sampled observations, plus batch throughput facts — to a
+/// metrics registry.
+fn datapath_metrics_into(
+    reg: &mut MetricsRegistry,
+    g: &ProgramGraph,
+    stats: Option<&BatchStats>,
+    obs: &ExecObservations,
+) {
+    reg.help(
+        "pipeleon_packet_latency_ns",
+        "End-to-end accounted latency of sampled packets",
+    );
+    reg.merge_histogram("pipeleon_packet_latency_ns", &[], &obs.packet_latency);
+    reg.help(
+        "pipeleon_table_latency_ns",
+        "Latency contributed per table (match+actions+counters) on sampled packets",
+    );
+    for (node, hist) in &obs.per_table {
+        let name = g
+            .node(*node)
+            .map(|n| n.name().to_string())
+            .unwrap_or_else(|| format!("node{}", node.0));
+        reg.merge_histogram("pipeleon_table_latency_ns", &[("table", &name)], hist);
+    }
+    if let Some(s) = stats {
+        reg.help("pipeleon_packets_total", "Packets processed in the batch");
+        reg.counter_add("pipeleon_packets_total", &[], s.packets);
+        reg.help("pipeleon_dropped_total", "Packets dropped by the program");
+        reg.counter_add("pipeleon_dropped_total", &[], s.dropped);
+        reg.help("pipeleon_mean_latency_ns", "Mean per-packet latency, ns");
+        reg.gauge_set("pipeleon_mean_latency_ns", &[], s.mean_latency_ns);
+        reg.help("pipeleon_p99_latency_ns", "99th-percentile latency, ns");
+        reg.gauge_set("pipeleon_p99_latency_ns", &[], s.p99_latency_ns);
+        reg.help("pipeleon_throughput_gbps", "Achieved throughput, Gbit/s");
+        reg.gauge_set("pipeleon_throughput_gbps", &[], s.throughput_gbps);
+        reg.help("pipeleon_offered_gbps", "Offered load (line rate), Gbit/s");
+        reg.gauge_set("pipeleon_offered_gbps", &[], s.offered_gbps);
+    }
+}
+
+/// Writes a registry to `path`: the JSON snapshot for `*.json`, the
+/// Prometheus text exposition otherwise.
+fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
+    let text = if path.ends_with(".json") {
+        reg.render_json()
+    } else {
+        reg.render_prometheus()
     };
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
+fn write_journal(path: &str, journal: &EventJournal) -> Result<(), String> {
+    std::fs::write(path, journal.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote journal to {path} ({} events, {} evicted)",
+        journal.len(),
+        journal.dropped()
+    );
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    lint_preflight(&g, &params)?;
+    let packets = args.get_usize("packets", 20_000)?;
+    let workers = args.get_usize("workers", 1)?;
+    let sample = args.get_usize("sample", 1)?.max(1) as u64;
+    let batch = gen_batch(args, &g, packets)?;
     // Chaos mode: instead of one measurement batch, run the runtime
     // controller loop against a fault-injected target and report per-
     // window reconfiguration health.
@@ -242,25 +320,29 @@ fn simulate(args: &Args) -> Result<(), String> {
         let windows = args.get_usize("windows", 5)?;
         return if workers > 1 {
             let nic = ShardedNic::new(g.clone(), params, workers).map_err(|e| e.to_string())?;
-            chaos_simulate(nic, chaos_seed, windows, batch)
+            chaos_simulate(args, nic, chaos_seed, windows, batch)
         } else {
             let nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
-            chaos_simulate(nic, chaos_seed, windows, batch)
+            chaos_simulate(args, nic, chaos_seed, windows, batch)
         };
     }
     // The sharded datapath merges results deterministically, so any
     // worker count reports bit-identical statistics; >1 exercises the
     // parallel path (and finishes sooner on big batches).
-    let (stats, profile) = if workers > 1 {
+    let (stats, profile, obs, elapsed_s) = if workers > 1 {
         let mut nic = ShardedNic::new(g.clone(), params, workers).map_err(|e| e.to_string())?;
-        nic.set_instrumentation(true, 1);
+        nic.set_instrumentation(true, sample);
         let stats = nic.measure(batch);
-        (stats, nic.take_profile())
+        let (p, o) = (nic.take_profile(), nic.take_observations());
+        let t = pipeleon_sim::NicBackend::now_s(&nic);
+        (stats, p, o, t)
     } else {
         let mut nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
-        nic.set_instrumentation(true, 1);
+        nic.set_instrumentation(true, sample);
         let stats = nic.measure(batch);
-        (stats, nic.take_profile())
+        let (p, o) = (nic.take_profile(), SmartNic::take_observations(&mut nic));
+        let t = nic.now_s();
+        (stats, p, o, t)
     };
     println!("packets:           {}", stats.packets);
     println!("dropped:           {}", stats.dropped);
@@ -276,6 +358,77 @@ fn simulate(args: &Args) -> Result<(), String> {
         std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote collected profile to {path}");
     }
+    if let Some(path) = args.get("metrics-out") {
+        let mut reg = MetricsRegistry::new();
+        datapath_metrics_into(&mut reg, &g, Some(&stats), &obs);
+        write_metrics(path, &reg)?;
+    }
+    if let Some(path) = args.get("journal-out") {
+        // A plain simulate run is one measurement window.
+        let mut journal = EventJournal::new(16);
+        journal.push(
+            elapsed_s,
+            EventKind::WindowProfiled {
+                window_s: elapsed_s,
+                packets: stats.packets,
+                change: 0.0,
+                reoptimized: false,
+                deployed: false,
+            },
+        );
+        write_journal(path, &journal)?;
+    }
+    Ok(())
+}
+
+/// `metrics`: run a sampled measurement batch and print a per-table
+/// latency summary straight from the mergeable histograms; `-o` writes
+/// the full exposition (Prometheus text, or JSON for `*.json`).
+fn metrics_summary(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    lint_preflight(&g, &params)?;
+    let packets = args.get_usize("packets", 20_000)?;
+    let sample = args.get_usize("sample", 1)?.max(1) as u64;
+    let batch = gen_batch(args, &g, packets)?;
+    let mut nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
+    nic.set_instrumentation(true, sample);
+    let stats = nic.measure(batch);
+    let obs = nic.take_observations();
+    let q = |h: &pipeleon_obs::LatencyHistogram, q: f64| {
+        h.quantile(q).map_or("-".to_string(), |v| v.to_string())
+    };
+    println!(
+        "metrics for {:?}: {} packets, 1-in-{} sampled",
+        g.name, stats.packets, sample
+    );
+    let h = &obs.packet_latency;
+    println!(
+        "packet latency (ns): count {:>7}  mean {:>8.1}  p50 {:>6}  p90 {:>6}  p99 {:>6}  max {:>6}",
+        h.count(),
+        h.mean_ns().unwrap_or(0.0),
+        q(h, 0.50),
+        q(h, 0.90),
+        q(h, 0.99),
+        h.max_ns().map_or("-".to_string(), |v| v.to_string()),
+    );
+    println!("per-table latency (ns):");
+    for (node, hist) in &obs.per_table {
+        let name = g.node(*node).map(|n| n.name()).unwrap_or("?");
+        println!(
+            "  {:<20} count {:>7}  mean {:>8.1}  p50 {:>6}  p99 {:>6}",
+            name,
+            hist.count(),
+            hist.mean_ns().unwrap_or(0.0),
+            q(hist, 0.50),
+            q(hist, 0.99),
+        );
+    }
+    if let Some(path) = args.get("o") {
+        let mut reg = MetricsRegistry::new();
+        datapath_metrics_into(&mut reg, &g, Some(&stats), &obs);
+        write_metrics(path, &reg)?;
+    }
     Ok(())
 }
 
@@ -284,6 +437,7 @@ fn simulate(args: &Args) -> Result<(), String> {
 /// then verify the deployed state converged to the controller's
 /// last-known-good layout.
 fn chaos_simulate<N: pipeleon_sim::NicBackend>(
+    args: &Args,
     mut nic: N,
     seed: u64,
     windows: usize,
@@ -300,7 +454,7 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
     let mut target = FaultyTarget::new(SimTarget::live(nic), FaultConfig::chaos(seed));
     // Construction deploys fault-free; chaos starts with the loop.
     target.set_armed(false);
-    let mut c = Controller::new(target, g, optimizer, ControllerConfig::default())
+    let mut c = Controller::new(target, g.clone(), optimizer, ControllerConfig::default())
         .map_err(|e| e.to_string())?;
     c.target.set_armed(true);
     let windows = windows.max(1);
@@ -360,6 +514,33 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
             "DIVERGED"
         }
     );
+    // Fold the injector's op log into the controller's journal so the
+    // postmortem timeline shows faults next to the loop's reactions.
+    let clock = c.clock_s();
+    let injected: Vec<(String, String)> = c
+        .target
+        .op_log()
+        .iter()
+        .filter_map(|r| {
+            r.fault
+                .as_ref()
+                .map(|f| (format!("{:?}", r.op), format!("{f:?}")))
+        })
+        .collect();
+    for (op, fault) in injected {
+        c.journal_mut()
+            .push(clock, EventKind::FaultInjected { op, fault });
+    }
+    if let Some(path) = args.get("metrics-out") {
+        // Control-loop series plus the datapath histograms the sampled
+        // executor collected across all windows.
+        let obs = c.target.inner.nic.take_observations();
+        datapath_metrics_into(c.metrics_mut(), &g, None, &obs);
+        write_metrics(path, c.metrics())?;
+    }
+    if let Some(path) = args.get("journal-out") {
+        write_journal(path, c.journal())?;
+    }
     if !verified {
         return Err("chaos run ended with the target diverged from controller bookkeeping".into());
     }
@@ -619,6 +800,102 @@ mod tests {
             "2",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_writes_metrics_and_journal() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test8_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let mout = dir.join("m.prom");
+        let jout = dir.join("j.jsonl");
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "2000",
+            "--sample",
+            "4",
+            "--metrics-out",
+            mout.to_str().unwrap(),
+            "--journal-out",
+            jout.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&mout).unwrap();
+        pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
+        assert!(text.contains("pipeleon_packet_latency_ns_bucket"), "{text}");
+        assert!(text.contains("table=\"acl\""), "{text}");
+        let jsonl = std::fs::read_to_string(&jout).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            serde::value::parse_json(line)
+                .unwrap_or_else(|e| panic!("journal line not valid JSON: {line}: {e}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_command_prints_summary_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test9_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let out = dir.join("m.json");
+        run(&v(&[
+            "metrics",
+            prog.to_str().unwrap(),
+            "--packets",
+            "1000",
+            "--sample",
+            "2",
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        serde::value::parse_json(&text).expect("JSON snapshot must be valid JSON");
+        assert!(text.contains("pipeleon_packet_latency_ns"), "{text}");
+        assert!(text.contains("\"p99_ns\":"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_mode_writes_controller_journal_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test10_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let mout = dir.join("chaos.prom");
+        let jout = dir.join("chaos.jsonl");
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--chaos-seed",
+            "7",
+            "--windows",
+            "4",
+            "--metrics-out",
+            mout.to_str().unwrap(),
+            "--journal-out",
+            jout.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&mout).unwrap();
+        pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
+        assert!(text.contains("pipeleon_controller_ticks_total"), "{text}");
+        let jsonl = std::fs::read_to_string(&jout).unwrap();
+        assert!(
+            jsonl
+                .lines()
+                .any(|l| l.contains("\"type\":\"window_profiled\"")),
+            "{jsonl}"
+        );
+        for line in jsonl.lines() {
+            serde::value::parse_json(line)
+                .unwrap_or_else(|e| panic!("journal line not valid JSON: {line}: {e}"));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

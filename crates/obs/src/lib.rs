@@ -1,0 +1,38 @@
+//! Observability subsystem for the Pipeleon reproduction.
+//!
+//! Pipeleon (Xing et al., SIGCOMM 2023) is a *profile-guided* optimizer:
+//! every controller decision hinges on runtime telemetry, so the
+//! profiling/decision loop itself must be observable. This crate is the
+//! measurement substrate, with **zero external dependencies** (pure
+//! `std`) so every other crate can depend on it freely:
+//!
+//! - [`LatencyHistogram`] — log-bucketed HDR-style histograms with O(1)
+//!   record, ≤3.125% quantile error, and a bit-exact `merge` obeying the
+//!   same commutative/associative/identity laws as
+//!   `RuntimeProfile::merge`, so sharded datapaths merge per-worker
+//!   histograms into results identical for any worker count.
+//! - [`MetricsRegistry`] — counters, gauges, and histograms with label
+//!   sets, rendered deterministically as Prometheus text
+//!   ([`MetricsRegistry::render_prometheus`]) or a JSON snapshot
+//!   ([`MetricsRegistry::render_json`]); [`validate_prometheus`] checks
+//!   the text format line-by-line.
+//! - [`EventJournal`] — a bounded ring buffer of structured [`Event`]s
+//!   (deploys, rollbacks, plan rejections, injected faults, profiled
+//!   windows, per-packet visits) rendered as JSONL for postmortems. The
+//!   same [`EventKind`] type backs both per-packet execution traces and
+//!   the controller's audit journal.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod journal;
+mod json;
+mod metrics;
+
+pub use hist::{
+    bucket_index, bucket_lower, bucket_upper, LatencyHistogram, NUM_BUCKETS, SUB_BUCKETS,
+    SUB_BUCKET_BITS,
+};
+pub use journal::{Event, EventJournal, EventKind};
+pub use json::{escape_json, fmt_f64};
+pub use metrics::{validate_prometheus, MetricValue, MetricsRegistry, PROM_LE_EDGES};

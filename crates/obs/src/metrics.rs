@@ -1,0 +1,552 @@
+//! A label-aware metrics registry with Prometheus text and JSON
+//! exposition, plus a validator for the text format.
+//!
+//! Series are keyed by `(metric name, sorted label set)` inside
+//! `BTreeMap`s, so both renderings are **deterministic**: the same
+//! recorded state always produces byte-identical output regardless of
+//! insertion order.
+
+use std::collections::BTreeMap;
+
+use crate::hist::LatencyHistogram;
+use crate::json::{escape_json, fmt_f64};
+
+/// Histogram `le` bucket edges used for Prometheus exposition: powers
+/// of two from 16 ns to ~1.07 s (every edge is an exact boundary of the
+/// underlying [`LatencyHistogram`] layout), followed by `+Inf`.
+pub const PROM_LE_EDGES: [u64; 27] = [
+    16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288,
+    1048576, 2097152, 4194304, 8388608, 16777216, 33554432, 67108864, 134217728, 268435456,
+    536870912, 1073741824,
+];
+
+/// One metric sample: the value half of a `(name, labels)` series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Latency distribution.
+    Histogram(LatencyHistogram),
+}
+
+impl MetricValue {
+    fn type_str(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type LabelSet = Vec<(String, String)>;
+
+/// A registry of counters, gauges, and histograms with label sets.
+///
+/// ```
+/// use pipeleon_obs::MetricsRegistry;
+/// let mut reg = MetricsRegistry::new();
+/// reg.help("pkts_total", "Packets processed");
+/// reg.counter_add("pkts_total", &[("table", "acl0")], 3);
+/// reg.observe("latency_ns", &[], 120.0);
+/// let text = reg.render_prometheus();
+/// assert!(text.contains("pkts_total{table=\"acl0\"} 3"));
+/// assert!(pipeleon_obs::validate_prometheus(&text).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    help: BTreeMap<String, String>,
+    series: BTreeMap<String, BTreeMap<LabelSet, MetricValue>>,
+}
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut v: LabelSet = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the `# HELP` text for a metric name.
+    pub fn help(&mut self, name: &str, text: &str) {
+        self.help.insert(name.to_string(), text.to_string());
+    }
+
+    /// Adds `delta` to a counter series, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let entry = self
+            .series
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_set(labels))
+            .or_insert(MetricValue::Counter(0));
+        if let MetricValue::Counter(c) = entry {
+            *c += delta;
+        } else {
+            debug_assert!(false, "metric {name} is not a counter");
+        }
+    }
+
+    /// Sets a counter series to an absolute (monotone) value.
+    pub fn counter_set(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .insert(label_set(labels), MetricValue::Counter(value));
+    }
+
+    /// Sets a gauge series.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .insert(label_set(labels), MetricValue::Gauge(value));
+    }
+
+    /// Records one nanosecond sample into a histogram series, creating
+    /// it empty first.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], ns: f64) {
+        let entry = self
+            .series
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_set(labels))
+            .or_insert_with(|| MetricValue::Histogram(LatencyHistogram::new()));
+        if let MetricValue::Histogram(h) = entry {
+            h.record(ns);
+        } else {
+            debug_assert!(false, "metric {name} is not a histogram");
+        }
+    }
+
+    /// Merges a whole [`LatencyHistogram`] into a histogram series.
+    pub fn merge_histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &LatencyHistogram,
+    ) {
+        let entry = self
+            .series
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_set(labels))
+            .or_insert_with(|| MetricValue::Histogram(LatencyHistogram::new()));
+        if let MetricValue::Histogram(h) = entry {
+            h.merge(hist);
+        } else {
+            debug_assert!(false, "metric {name} is not a histogram");
+        }
+    }
+
+    /// Reads back a counter series, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.series.get(name)?.get(&label_set(labels))? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reads back a gauge series, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.series.get(name)?.get(&label_set(labels))? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Reads back a histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LatencyHistogram> {
+        match self.series.get(name)?.get(&label_set(labels))? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct metric names registered.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    fn fmt_labels(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
+        let mut parts: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_json(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per metric, then one
+    /// sample line per series; histograms expand into cumulative
+    /// `_bucket{le=...}` lines plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, per_labels) in &self.series {
+            let type_str = per_labels
+                .values()
+                .next()
+                .map(MetricValue::type_str)
+                .unwrap_or("untyped");
+            if let Some(help) = self.help.get(name) {
+                out.push_str(&format!(
+                    "# HELP {name} {}\n",
+                    help.replace('\\', "\\\\").replace('\n', "\\n")
+                ));
+            }
+            out.push_str(&format!("# TYPE {name} {type_str}\n"));
+            for (labels, value) in per_labels {
+                match value {
+                    MetricValue::Counter(c) => {
+                        out.push_str(&format!("{name}{} {c}\n", Self::fmt_labels(labels, None)));
+                    }
+                    MetricValue::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            Self::fmt_labels(labels, None),
+                            if g.is_finite() {
+                                format!("{g}")
+                            } else if g.is_nan() {
+                                "NaN".to_string()
+                            } else if *g > 0.0 {
+                                "+Inf".to_string()
+                            } else {
+                                "-Inf".to_string()
+                            }
+                        ));
+                    }
+                    MetricValue::Histogram(h) => {
+                        for edge in PROM_LE_EDGES {
+                            out.push_str(&format!(
+                                "{name}_bucket{} {}\n",
+                                Self::fmt_labels(labels, Some(("le", &edge.to_string()))),
+                                h.count_le(edge)
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            Self::fmt_labels(labels, Some(("le", "+Inf"))),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            Self::fmt_labels(labels, None),
+                            h.sum_ns()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            Self::fmt_labels(labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"metric": [{"labels": {...}, "type": "...", ...value...}]}`.
+    /// Histograms snapshot count/sum/min/max/mean and the p50/p90/p99
+    /// quantiles rather than raw buckets.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first_metric = true;
+        for (name, per_labels) in &self.series {
+            if !first_metric {
+                out.push(',');
+            }
+            first_metric = false;
+            out.push_str(&format!("\"{}\":[", escape_json(name)));
+            let mut first_series = true;
+            for (labels, value) in per_labels {
+                if !first_series {
+                    out.push(',');
+                }
+                first_series = false;
+                let labels_json = labels
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                match value {
+                    MetricValue::Counter(c) => {
+                        out.push_str(&format!(
+                            "{{\"labels\":{{{labels_json}}},\"type\":\"counter\",\"value\":{c}}}"
+                        ));
+                    }
+                    MetricValue::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{{\"labels\":{{{labels_json}}},\"type\":\"gauge\",\"value\":{}}}",
+                            fmt_f64(*g)
+                        ));
+                    }
+                    MetricValue::Histogram(h) => {
+                        out.push_str(&format!(
+                            "{{\"labels\":{{{labels_json}}},\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                            h.count(),
+                            h.sum_ns(),
+                            h.min_ns().map_or("null".into(), |v| v.to_string()),
+                            h.max_ns().map_or("null".into(), |v| v.to_string()),
+                            h.mean_ns().map_or("null".into(), fmt_f64),
+                            h.quantile(0.50).map_or("null".into(), |v| v.to_string()),
+                            h.quantile(0.90).map_or("null".into(), |v| v.to_string()),
+                            h.quantile(0.99).map_or("null".into(), |v| v.to_string()),
+                        ));
+                    }
+                }
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn is_valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates a Prometheus text exposition line-by-line, returning the
+/// number of sample lines on success or `(line_number, reason)` on the
+/// first malformed line. Accepts `# HELP`/`# TYPE` headers, comments,
+/// blank lines, and `name[{labels}] value` samples.
+pub fn validate_prometheus(text: &str) -> Result<usize, (usize, String)> {
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(rest) = rest.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !is_valid_name(name) {
+                    return Err((lineno, format!("bad metric name in TYPE: {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err((lineno, format!("bad metric type: {kind:?}")));
+                }
+            } else if let Some(rest) = rest.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_valid_name(name) {
+                    return Err((lineno, format!("bad metric name in HELP: {name:?}")));
+                }
+            }
+            continue; // other comments are legal
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample: name[{labels}] value. Label values may contain spaces,
+        // so locate the closing brace (respecting quotes) before
+        // splitting off the value.
+        let (name, value_part) = if let Some(brace) = line.find('{') {
+            let rest = &line[brace + 1..];
+            let mut in_quotes = false;
+            let mut escaped = false;
+            let mut close = None;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_quotes => escaped = true,
+                    '"' => in_quotes = !in_quotes,
+                    '}' if !in_quotes => {
+                        close = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let Some(close) = close else {
+                return Err((lineno, "unterminated label set".to_string()));
+            };
+            validate_labels(&rest[..close]).map_err(|e| (lineno, e))?;
+            (&line[..brace], rest[close + 1..].trim())
+        } else {
+            match line.split_once(' ') {
+                Some((n, v)) => (n, v.trim()),
+                None => return Err((lineno, "sample line missing value".to_string())),
+            }
+        };
+        if value_part.is_empty() {
+            return Err((lineno, "sample line missing value".to_string()));
+        }
+        if !is_valid_name(name) {
+            return Err((lineno, format!("bad metric name: {name:?}")));
+        }
+        let ok = matches!(value_part, "+Inf" | "-Inf" | "NaN") || value_part.parse::<f64>().is_ok();
+        if !ok {
+            return Err((lineno, format!("bad sample value: {value_part:?}")));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn validate_labels(labels: &str) -> Result<(), String> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    // Split on commas outside quoted values.
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut current = String::new();
+    let mut pairs = Vec::new();
+    for c in labels.chars() {
+        if escaped {
+            escaped = false;
+            current.push(c);
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                escaped = true;
+                current.push(c);
+            }
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ',' if !in_quotes => {
+                pairs.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted label value".to_string());
+    }
+    if !current.is_empty() {
+        pairs.push(current);
+    }
+    for pair in pairs {
+        let Some((k, v)) = pair.split_once('=') else {
+            return Err(format!("label pair missing '=': {pair:?}"));
+        };
+        if !is_valid_name(k) {
+            return Err(format!("bad label name: {k:?}"));
+        }
+        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+            return Err(format!("label value not quoted: {v:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_sorted() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("zzz", &[], 1);
+        a.counter_add("aaa", &[("t", "x")], 2);
+        a.counter_add("aaa", &[("t", "a")], 3);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("aaa", &[("t", "a")], 3);
+        b.counter_add("aaa", &[("t", "x")], 2);
+        b.counter_add("zzz", &[], 1);
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+        assert_eq!(a.render_json(), b.render_json());
+        let text = a.render_prometheus();
+        let aaa = text.find("aaa{t=\"a\"}").unwrap();
+        let zzz = text.find("zzz 1").unwrap();
+        assert!(aaa < zzz, "names must render in sorted order");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_valid() {
+        let mut reg = MetricsRegistry::new();
+        reg.help("lat_ns", "End-to-end latency");
+        for v in [50.0, 100.0, 5000.0, 2_000_000.0] {
+            reg.observe("lat_ns", &[("pipelet", "p0")], v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{pipelet=\"p0\",le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_ns_count{pipelet=\"p0\"} 4"));
+        let samples = validate_prometheus(&text).expect("exposition must validate");
+        // 27 finite edges + +Inf + sum + count
+        assert_eq!(samples, PROM_LE_EDGES.len() + 3);
+    }
+
+    #[test]
+    fn json_snapshot_contains_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            reg.observe("h", &[], (v * 100) as f64);
+        }
+        reg.gauge_set("g", &[("k", "v")], 1.25);
+        let json = reg.render_json();
+        assert!(json.contains("\"p99_ns\":"));
+        assert!(json.contains("\"type\":\"gauge\",\"value\":1.25"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("ok_metric 1\n").is_ok());
+        assert!(validate_prometheus("bad metric name 1\n").is_err());
+        assert!(validate_prometheus("m{unterminated=\"x} 1\n").is_err());
+        assert!(validate_prometheus("m{x=\"1\"} notanumber\n").is_err());
+        assert!(validate_prometheus("m{noquotes=1} 1\n").is_err());
+        assert!(validate_prometheus("# TYPE m bogus\n").is_err());
+        assert!(validate_prometheus("# TYPE m counter\nm 3\n").is_ok());
+    }
+
+    #[test]
+    fn validator_handles_escaped_label_values() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("c", &[("msg", "say \"hi\", ok")], 1);
+        let text = reg.render_prometheus();
+        assert!(validate_prometheus(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn merge_histogram_accumulates() {
+        let mut h = LatencyHistogram::new();
+        h.record(10.0);
+        h.record(20.0);
+        let mut reg = MetricsRegistry::new();
+        reg.merge_histogram("h", &[], &h);
+        reg.merge_histogram("h", &[], &h);
+        assert_eq!(reg.histogram("h", &[]).unwrap().count(), 4);
+    }
+}

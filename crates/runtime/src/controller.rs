@@ -27,6 +27,7 @@ use pipeleon::search::{IncrementalState, Optimizer};
 use pipeleon_cost::RuntimeProfile;
 use pipeleon_ir::json::to_json_string;
 use pipeleon_ir::{NextHops, NodeId, NodeKind, ProgramGraph, Table, TableEntry};
+use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -57,6 +58,9 @@ pub struct ControllerConfig {
     pub degrade_after: u32,
     /// Healthy ticks required to close the breaker again.
     pub cooldown_ticks: u32,
+    /// Maximum events retained by the controller's ring-buffer journal
+    /// (older events are evicted and counted, never reallocated).
+    pub journal_capacity: usize,
 }
 
 impl Default for ControllerConfig {
@@ -70,6 +74,7 @@ impl Default for ControllerConfig {
             retry_backoff: Duration::from_micros(200),
             degrade_after: 3,
             cooldown_ticks: 4,
+            journal_capacity: 1024,
         }
     }
 }
@@ -173,6 +178,20 @@ pub struct Controller<T: Target> {
     cache_hints: HashMap<Vec<NodeId>, f64>,
     /// Number of reconfigurations performed.
     pub reconfig_count: usize,
+    /// Structured audit trail of control-loop events (deploys,
+    /// rollbacks, plan rejections, breaker transitions, windows).
+    journal: EventJournal,
+    /// Control-loop metrics, re-snapshotted every tick.
+    metrics: MetricsRegistry,
+    /// Accumulated profiling-window time, the journal's clock.
+    clock_s: f64,
+}
+
+/// Per-window facts [`Controller::tick`] surfaces to the journal after
+/// the window's work is done.
+struct WindowInfo {
+    window_s: f64,
+    packets: u64,
 }
 
 impl<T: Target> Controller<T> {
@@ -187,6 +206,9 @@ impl<T: Target> Controller<T> {
     ) -> Result<Self, RuntimeError> {
         original.validate().map_err(RuntimeError::Ir)?;
         let json = to_json_string(&original)?;
+        let journal = EventJournal::new(cfg.journal_capacity);
+        let mut metrics = MetricsRegistry::new();
+        register_help(&mut metrics);
         let mut this = Self {
             target,
             original: original.clone(),
@@ -203,6 +225,9 @@ impl<T: Target> Controller<T> {
             health: HealthReport::default(),
             cache_hints: HashMap::new(),
             reconfig_count: 0,
+            journal,
+            metrics,
+            clock_s: 0.0,
         };
         let (g, j) = (this.last_good.graph.clone(), this.last_good.json.clone());
         this.deploy_transaction(g, &j)?;
@@ -223,6 +248,36 @@ impl<T: Target> Controller<T> {
     /// Current reconfiguration-loop health.
     pub fn health(&self) -> &HealthReport {
         &self.health
+    }
+
+    /// The controller's structured event journal (read-only).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Mutable access to the journal so embedders (e.g. the chaos CLI)
+    /// can interleave their own events — injected faults, external
+    /// markers — into the same timeline.
+    pub fn journal_mut(&mut self) -> &mut EventJournal {
+        &mut self.journal
+    }
+
+    /// The control-loop metrics registry (read-only).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry so embedders can add
+    /// datapath series (packet-latency histograms, per-table counters)
+    /// next to the control-loop series.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Accumulated profiling-window time — the journal's clock, in
+    /// seconds since the controller was created.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
     }
 
     /// The layout the controller last verified on the target.
@@ -302,8 +357,20 @@ impl<T: Target> Controller<T> {
         if self.deploy_transaction(g, &j).is_ok() {
             self.health.rollbacks += 1;
             self.health.pin_pending = false;
+            self.journal.push(
+                self.clock_s,
+                EventKind::Rollback {
+                    to: "last-good".into(),
+                },
+            );
         } else if self.pin_original().is_ok() {
             self.health.rollbacks += 1;
+            self.journal.push(
+                self.clock_s,
+                EventKind::Rollback {
+                    to: "original".into(),
+                },
+            );
         } else {
             self.health.pin_pending = true;
         }
@@ -324,14 +391,27 @@ impl<T: Target> Controller<T> {
                 self.reconfig_count += 1;
                 true
             }
-            Err(_) => {
+            Err(e) => {
                 self.health.consecutive_deploy_failures += 1;
+                self.journal.push(
+                    self.clock_s,
+                    EventKind::DeployFailed {
+                        attempts: self.cfg.max_deploy_retries + 1,
+                        error: e.to_string(),
+                    },
+                );
                 self.recover_deployed_state();
                 if self.health.consecutive_deploy_failures >= self.cfg.degrade_after
                     && !self.health.degraded
                 {
                     self.health.degraded = true;
                     self.health.cooldown_remaining = self.cfg.cooldown_ticks;
+                    self.journal.push(
+                        self.clock_s,
+                        EventKind::BreakerOpened {
+                            cooldown_ticks: self.cfg.cooldown_ticks,
+                        },
+                    );
                     if self.applied.is_some() && self.pin_original().is_err() {
                         self.health.pin_pending = true;
                     }
@@ -356,8 +436,39 @@ impl<T: Target> Controller<T> {
     }
 
     /// One profiling window: collect → translate → detect → re-optimize →
-    /// deploy (transactionally).
+    /// deploy (transactionally), then journal the window and re-snapshot
+    /// the control-loop metrics.
     pub fn tick(&mut self) -> Result<TickReport, RuntimeError> {
+        let (report, window) = self.tick_inner()?;
+        if let Some(w) = window {
+            self.journal.push(
+                self.clock_s,
+                EventKind::WindowProfiled {
+                    window_s: w.window_s,
+                    packets: w.packets,
+                    change: report.profile_change,
+                    reoptimized: report.reoptimized,
+                    deployed: report.deployed,
+                },
+            );
+        }
+        if report.deployed {
+            self.journal.push(
+                self.clock_s,
+                EventKind::Deploy {
+                    reconfig: self.reconfig_count as u64,
+                    est_gain_ns: report.est_gain_ns,
+                    summary: report.summary.clone(),
+                },
+            );
+        }
+        self.record_tick_metrics(&report);
+        Ok(report)
+    }
+
+    /// The tick body proper; returns the report plus the window facts
+    /// (when a profile was actually consumed) for the journal.
+    fn tick_inner(&mut self) -> Result<(TickReport, Option<WindowInfo>), RuntimeError> {
         // Repair pass: if an earlier rollback failed, the target may be
         // running a stale layout — re-pin before trusting anything else.
         if self.health.pin_pending && self.pin_original().is_err() {
@@ -367,8 +478,14 @@ impl<T: Target> Controller<T> {
             {
                 self.health.degraded = true;
                 self.health.cooldown_remaining = self.cfg.cooldown_ticks;
+                self.journal.push(
+                    self.clock_s,
+                    EventKind::BreakerOpened {
+                        cooldown_ticks: self.cfg.cooldown_ticks,
+                    },
+                );
             }
-            return Ok(self.report_only(0.0));
+            return Ok((self.report_only(0.0), None));
         }
         let raw = self.target.take_profile();
         if raw.is_empty() && self.last_profile.is_some() {
@@ -377,9 +494,14 @@ impl<T: Target> Controller<T> {
             // window as the baseline instead of registering infinite
             // change and redeploying spuriously.
             self.health.profile_losses += 1;
-            return Ok(self.report_only(0.0));
+            return Ok((self.report_only(0.0), None));
         }
         let window_s = raw.window_s.max(1e-9);
+        let window = WindowInfo {
+            window_s,
+            packets: raw.total_packets,
+        };
+        self.clock_s += window_s;
         let mut profile = match &self.applied {
             Some(a) => a.counter_map.translate(&raw),
             None => raw,
@@ -443,9 +565,10 @@ impl<T: Target> Controller<T> {
             if self.health.cooldown_remaining == 0 {
                 self.health.degraded = false;
                 self.health.consecutive_deploy_failures = 0;
+                self.journal.push(self.clock_s, EventKind::BreakerClosed);
             }
             report.health = self.health.clone();
-            return Ok(report);
+            return Ok((report, Some(window)));
         }
 
         if self.cfg.always_reoptimize || profile_change >= self.cfg.change_threshold {
@@ -468,11 +591,19 @@ impl<T: Target> Controller<T> {
                 // cannot prove legal. The search already filters illegal
                 // candidates, so this rejecting is an invariant breach —
                 // counted, skipped, and the loop stays alive.
-                if self.verify_plan(&outcome.plan).is_err() {
+                if let Err(err) = self.verify_plan(&outcome.plan) {
                     self.health.plan_rejections += 1;
+                    let violations = match &err {
+                        RuntimeError::InvalidCandidate { violations, .. } => {
+                            violations.iter().map(|v| v.to_string()).collect()
+                        }
+                        other => vec![other.to_string()],
+                    };
+                    self.journal
+                        .push(self.clock_s, EventKind::PlanRejected { violations });
                     self.last_profile = Some(profile);
                     report.health = self.health.clone();
-                    return Ok(report);
+                    return Ok((report, Some(window)));
                 }
                 let summary = outcome.applied.summary.clone();
                 let cache_nodes = outcome.applied.cache_nodes.clone();
@@ -491,7 +622,73 @@ impl<T: Target> Controller<T> {
         }
         self.last_profile = Some(profile);
         report.health = self.health.clone();
-        Ok(report)
+        Ok((report, Some(window)))
+    }
+
+    /// Re-snapshots the control-loop metrics after a tick. Monotone
+    /// totals mirror [`HealthReport`] (absolute sets, so the registry
+    /// never drifts from the source of truth); gauges capture the
+    /// breaker state; the search-time histogram accumulates.
+    fn record_tick_metrics(&mut self, report: &TickReport) {
+        let m = &mut self.metrics;
+        m.counter_add("pipeleon_controller_ticks_total", &[], 1);
+        if report.reoptimized {
+            m.counter_add("pipeleon_reoptimizations_total", &[], 1);
+        }
+        if report.deployed {
+            m.counter_add("pipeleon_deploys_total", &[], 1);
+        }
+        if self.health.degraded {
+            m.counter_add("pipeleon_degraded_windows_total", &[], 1);
+        }
+        m.counter_set(
+            "pipeleon_reconfigurations_total",
+            &[],
+            self.reconfig_count as u64,
+        );
+        m.counter_set(
+            "pipeleon_deploy_retries_total",
+            &[],
+            self.health.deploy_retries,
+        );
+        m.counter_set("pipeleon_rollbacks_total", &[], self.health.rollbacks);
+        m.counter_set(
+            "pipeleon_profile_losses_total",
+            &[],
+            self.health.profile_losses,
+        );
+        m.counter_set(
+            "pipeleon_plan_rejections_total",
+            &[],
+            self.health.plan_rejections,
+        );
+        m.gauge_set(
+            "pipeleon_degraded",
+            &[],
+            if self.health.degraded { 1.0 } else { 0.0 },
+        );
+        m.gauge_set(
+            "pipeleon_cooldown_remaining",
+            &[],
+            self.health.cooldown_remaining as f64,
+        );
+        m.gauge_set(
+            "pipeleon_consecutive_deploy_failures",
+            &[],
+            self.health.consecutive_deploy_failures as f64,
+        );
+        m.gauge_set("pipeleon_profile_change", &[], report.profile_change);
+        m.gauge_set("pipeleon_est_gain_ns", &[], report.est_gain_ns);
+        if report.reoptimized {
+            m.observe(
+                "pipeleon_search_time_ns",
+                &[],
+                report.search_time.as_nanos() as f64,
+            );
+        }
+        if report.deployed {
+            m.gauge_set("pipeleon_downtime_s", &[], report.downtime_s);
+        }
     }
 
     /// Checks every choice of `plan` against the plan-safety verifier
@@ -556,6 +753,13 @@ impl<T: Target> Controller<T> {
             }
             Err(e) => {
                 self.health.consecutive_deploy_failures += 1;
+                self.journal.push(
+                    self.clock_s,
+                    EventKind::DeployFailed {
+                        attempts: self.cfg.max_deploy_retries + 1,
+                        error: e.to_string(),
+                    },
+                );
                 self.recover_deployed_state();
                 Err(e)
             }
@@ -843,6 +1047,72 @@ impl<T: Target> Controller<T> {
         }
         Ok((m.table, next))
     }
+}
+
+/// Registers `# HELP` text for every control-loop series the controller
+/// emits, so a scrape of [`Controller::metrics`] is self-describing.
+fn register_help(m: &mut MetricsRegistry) {
+    m.help(
+        "pipeleon_controller_ticks_total",
+        "Profiling windows processed by the controller",
+    );
+    m.help(
+        "pipeleon_reoptimizations_total",
+        "Windows in which the top-k search ran",
+    );
+    m.help("pipeleon_deploys_total", "Successful candidate deployments");
+    m.help(
+        "pipeleon_degraded_windows_total",
+        "Windows spent with the deploy circuit breaker open",
+    );
+    m.help(
+        "pipeleon_reconfigurations_total",
+        "Target reconfigurations performed (deploys + pins)",
+    );
+    m.help(
+        "pipeleon_deploy_retries_total",
+        "Deploy retries beyond first attempts",
+    );
+    m.help(
+        "pipeleon_rollbacks_total",
+        "Rollbacks to the last-known-good (or original) layout",
+    );
+    m.help(
+        "pipeleon_profile_losses_total",
+        "Profiling windows that came back empty (telemetry loss)",
+    );
+    m.help(
+        "pipeleon_plan_rejections_total",
+        "Plans the safety verifier refused to deploy",
+    );
+    m.help(
+        "pipeleon_degraded",
+        "1 while the deploy circuit breaker is open, else 0",
+    );
+    m.help(
+        "pipeleon_cooldown_remaining",
+        "Healthy ticks remaining before the breaker closes",
+    );
+    m.help(
+        "pipeleon_consecutive_deploy_failures",
+        "Consecutive failed deploy transactions",
+    );
+    m.help(
+        "pipeleon_profile_change",
+        "Profile distance between the last two windows",
+    );
+    m.help(
+        "pipeleon_est_gain_ns",
+        "Estimated per-packet gain of the best plan, ns",
+    );
+    m.help(
+        "pipeleon_search_time_ns",
+        "Wall-clock time of each top-k search, ns",
+    );
+    m.help(
+        "pipeleon_downtime_s",
+        "Service interruption of the last deployment, s",
+    );
 }
 
 #[cfg(test)]
@@ -1286,6 +1556,10 @@ mod tests {
         let r3 = c.tick().unwrap();
         assert!(r3.health.degraded, "{r3:?}");
         assert_eq!(r3.health.cooldown_remaining, 2);
+        assert!(
+            c.journal().iter().any(|e| e.kind.tag() == "breaker_opened"),
+            "breaker transition must be journaled"
+        );
         // Degraded ticks: no re-optimization, original stays pinned,
         // cooldown counts down over healthy windows.
         heavy_window(&mut c, &p, 1);
@@ -1301,12 +1575,92 @@ mod tests {
         let r5 = c.tick().unwrap();
         assert!(!r5.health.degraded, "breaker closes after cooldown: {r5:?}");
         assert_eq!(r5.health.consecutive_deploy_failures, 0);
+        assert!(
+            c.journal().iter().any(|e| e.kind.tag() == "breaker_closed"),
+            "breaker close must be journaled"
+        );
+        assert!(
+            c.metrics()
+                .counter_value("pipeleon_degraded_windows_total", &[])
+                .unwrap_or(0)
+                >= 2,
+            "degraded windows must be counted"
+        );
         // Fault clears: re-optimization resumes and deploys land again.
         c.target.set_armed(false);
         heavy_window(&mut c, &p, 4);
         let r6 = c.tick().unwrap();
         assert!(r6.reoptimized, "{r6:?}");
         assert!(r6.deployed, "{r6:?}");
+    }
+
+    #[test]
+    fn journal_and_metrics_capture_the_control_loop() {
+        let p = AclPipeline::build(3, 3);
+        let cfg = ControllerConfig {
+            max_deploy_retries: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = faulty_controller_for(&p, cfg, FaultConfig::none(1));
+        assert!(c.journal().is_empty(), "construction emits no events");
+        heavy_window(&mut c, &p, 2);
+        let r1 = c.tick().unwrap();
+        assert!(r1.deployed, "{r1:?}");
+        let tags: Vec<&str> = c.journal().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"window_profiled"), "{tags:?}");
+        assert!(tags.contains(&"deploy"), "{tags:?}");
+        assert!(c.clock_s() > 0.0, "the journal clock tracks window time");
+        // A candidate deploy whose retries are exhausted journals the
+        // failure and the rollback that recovered the target.
+        heavy_window(&mut c, &p, 3);
+        c.target.inject_next(InjectedFault::DeployReject, 2);
+        let r2 = c.tick().unwrap();
+        assert!(!r2.deployed, "{r2:?}");
+        let tags: Vec<&str> = c.journal().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"deploy_failed"), "{tags:?}");
+        assert!(tags.contains(&"rollback"), "{tags:?}");
+        // Metrics mirror the health counters and expose cleanly.
+        let m = c.metrics();
+        assert_eq!(
+            m.counter_value("pipeleon_controller_ticks_total", &[]),
+            Some(2)
+        );
+        assert_eq!(m.counter_value("pipeleon_deploys_total", &[]), Some(1));
+        assert_eq!(m.counter_value("pipeleon_rollbacks_total", &[]), Some(1));
+        assert_eq!(
+            m.counter_value("pipeleon_deploy_retries_total", &[]),
+            Some(c.health().deploy_retries)
+        );
+        let text = m.render_prometheus();
+        pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
+        assert!(text.contains("# HELP pipeleon_rollbacks_total"));
+        // The journal renders as JSONL with monotone sequence numbers.
+        let jsonl = c.journal().to_jsonl();
+        assert!(!jsonl.is_empty());
+        let seqs: Vec<u64> = c.journal().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    }
+
+    #[test]
+    fn journal_capacity_bounds_memory() {
+        let p = AclPipeline::build(2, 2);
+        let cfg = ControllerConfig {
+            always_reoptimize: true,
+            journal_capacity: 4,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller_for(&p, cfg);
+        for seed in 0..8u64 {
+            let mut gen = p.traffic(&[0.0, 0.3], 200, seed);
+            c.target.nic.measure(gen.batch(500));
+            c.tick().unwrap();
+        }
+        assert!(c.journal().len() <= 4);
+        assert!(c.journal().dropped() > 0, "old events must be evicted");
+        assert_eq!(
+            c.journal().total(),
+            c.journal().len() as u64 + c.journal().dropped()
+        );
     }
 
     #[test]

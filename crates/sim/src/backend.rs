@@ -8,6 +8,7 @@
 
 use crate::exec::ExecReport;
 use crate::nic::BatchStats;
+use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::SmartNic;
 use pipeleon_cost::{CostParams, RuntimeProfile};
@@ -27,6 +28,11 @@ pub trait NicBackend {
 
     /// Takes the profile collected since the last call.
     fn take_profile(&mut self) -> RuntimeProfile;
+
+    /// Takes the latency histograms recorded for sampled packets since
+    /// the last call. Sharded datapaths merge per-shard histograms
+    /// deterministically before returning.
+    fn take_observations(&mut self) -> ExecObservations;
 
     /// Inserts a table entry (control-plane API).
     fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError>;
@@ -76,6 +82,10 @@ impl NicBackend for SmartNic {
 
     fn take_profile(&mut self) -> RuntimeProfile {
         SmartNic::take_profile(self)
+    }
+
+    fn take_observations(&mut self) -> ExecObservations {
+        SmartNic::take_observations(self)
     }
 
     fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {

@@ -17,11 +17,13 @@
 
 use crate::cache::{LruCache, RateLimiter};
 use crate::engine::{LookupOutcome, MatchEngine};
+use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use pipeleon_cost::{CostParams, MatchCostModel, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{
     CacheRole, EdgeRef, IrError, NextHops, NodeId, NodeKind, Primitive, ProgramGraph, TableEntry,
 };
+use pipeleon_obs::{Event, EventKind};
 use std::collections::HashMap;
 
 /// Per-packet execution report.
@@ -40,12 +42,64 @@ pub struct ExecReport {
 }
 
 /// Optional per-packet trace for semantic-equivalence testing.
+///
+/// Backed by the shared observability [`Event`] type, so per-packet
+/// traces and the controller's journal speak one event schema: a trace
+/// is a sequence of [`EventKind::Visit`] / [`EventKind::Action`] events
+/// (node ids stored raw as `u32`), renderable with the same JSONL
+/// machinery as any other event stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PacketTrace {
+    /// Visit/action events in execution order. `seq` is the position
+    /// within this packet's trace; `t_s` is the simulated arrival time.
+    pub events: Vec<Event>,
+}
+
+impl PacketTrace {
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    fn push(&mut self, t_s: f64, kind: EventKind) {
+        self.events.push(Event {
+            seq: self.events.len() as u64,
+            t_s,
+            kind,
+        });
+    }
+
     /// Nodes visited, in order.
-    pub visited: Vec<NodeId>,
+    pub fn visited(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Visit { node } => Some(NodeId(node)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// `(table, action)` pairs executed (including cache replays).
-    pub actions: Vec<(NodeId, usize)>,
+    pub fn actions(&self) -> Vec<(NodeId, usize)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Action { node, action } => Some((NodeId(node), action as usize)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the trace as JSONL, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// The result cached for a flow: the `(table, action)` pairs to replay.
@@ -91,6 +145,9 @@ pub struct Executor {
     packet_seq: u64,
     distinct: HashMap<NodeId, std::collections::HashSet<Vec<u64>>>,
     last_profile_take_s: f64,
+    /// Latency histograms recorded for sampled packets since the last
+    /// [`Executor::take_observations`].
+    observed: ExecObservations,
     /// Simulation clock in seconds, advanced by the NIC harness.
     pub now_s: f64,
 }
@@ -119,6 +176,7 @@ impl Executor {
             packet_seq: 0,
             distinct: HashMap::new(),
             last_profile_take_s: 0.0,
+            observed: ExecObservations::new(),
             now_s: 0.0,
             graph,
             params,
@@ -316,6 +374,19 @@ impl Executor {
         &self.profile
     }
 
+    /// Takes the latency histograms recorded for sampled packets since
+    /// the last call, resetting them. Sampling is driven by the global
+    /// packet sequence number, so a sharded NIC's per-shard observations
+    /// merge bit-identically to a single-threaded run's.
+    pub fn take_observations(&mut self) -> ExecObservations {
+        std::mem::take(&mut self.observed)
+    }
+
+    /// Peeks at the recorded observations without resetting.
+    pub fn observations(&self) -> &ExecObservations {
+        &self.observed
+    }
+
     fn rebuild_all(&mut self) {
         self.engines = vec![None; self.graph.id_bound()];
         self.caches.clear();
@@ -365,8 +436,7 @@ impl Executor {
     /// Processes one packet and records the visited nodes / executed
     /// actions into `trace`.
     pub fn process_traced(&mut self, packet: &mut Packet, trace: &mut PacketTrace) -> ExecReport {
-        trace.visited.clear();
-        trace.actions.clear();
+        trace.clear();
         self.run(packet, Some(trace))
     }
 
@@ -411,7 +481,7 @@ impl Executor {
                 Placement::Cpu => self.params.cpu_scale,
             };
             if let Some(t) = trace.as_deref_mut() {
-                t.visited.push(id);
+                t.push(self.now_s, EventKind::Visit { node: id.0 });
             }
 
             // Pull the node's shape out in a narrow scope.
@@ -455,6 +525,7 @@ impl Executor {
                 .map(|t| t.cache_role == CacheRole::FlowCache)
                 .unwrap_or(false);
 
+            let before_ns = report.latency_ns;
             if is_flow_cache {
                 cur = self.exec_flow_cache(
                     id,
@@ -476,6 +547,13 @@ impl Executor {
                     &mut trace,
                 );
             }
+            if sampled {
+                // Host-side histogram bookkeeping: the modeled counter
+                // cost is already charged above, so this adds no
+                // simulated latency.
+                self.observed
+                    .record_table(id, report.latency_ns - before_ns);
+            }
             if packet.dropped {
                 report.dropped = true;
                 break;
@@ -491,6 +569,9 @@ impl Executor {
             for p in all.drain(..) {
                 self.install_pending(p, &mut report);
             }
+        }
+        if sampled {
+            self.observed.record_packet(report.latency_ns);
         }
         report
     }
@@ -560,7 +641,13 @@ impl Executor {
             p.recorded.push((id, outcome.action));
         }
         if let Some(t) = trace.as_deref_mut() {
-            t.actions.push((id, outcome.action));
+            t.push(
+                self.now_s,
+                EventKind::Action {
+                    node: id.0,
+                    action: outcome.action as u32,
+                },
+            );
         }
         if sampled {
             self.profile.record_action(id, outcome.action, 1);
@@ -633,7 +720,13 @@ impl Executor {
                     report.latency_ns += prims.len() as f64 * self.params.l_act * scale;
                     Self::apply_primitives(packet, &prims);
                     if let Some(t) = trace.as_deref_mut() {
-                        t.actions.push((*nid, *aidx));
+                        t.push(
+                            self.now_s,
+                            EventKind::Action {
+                                node: nid.0,
+                                action: *aidx as u32,
+                            },
+                        );
                     }
                     if sampled {
                         self.profile.record_action(*nid, *aidx, 1);
@@ -796,10 +889,15 @@ mod tests {
         let mut trace = PacketTrace::default();
         let mut p = Packet::with_slots(vec![5]);
         ex.process_traced(&mut p, &mut trace);
-        assert_eq!(trace.visited, vec![br, t1]);
+        assert_eq!(trace.visited(), vec![br, t1]);
         let mut p = Packet::with_slots(vec![50]);
         ex.process_traced(&mut p, &mut trace);
-        assert_eq!(trace.visited, vec![br, t2]);
+        assert_eq!(trace.visited(), vec![br, t2]);
+        // The trace shares the journal's event schema and renders as
+        // JSONL through the same machinery.
+        let jsonl = trace.to_jsonl();
+        assert_eq!(jsonl.lines().count(), trace.events.len());
+        assert!(jsonl.contains("\"type\":\"visit\""));
     }
 
     #[test]
@@ -833,6 +931,25 @@ mod tests {
         let prof = ex.take_profile();
         // 25 sampled packets, scaled by 4 back to 100.
         assert_eq!(prof.action_count(acl, 0), 100);
+    }
+
+    #[test]
+    fn observations_record_sampled_packets_only() {
+        let (g, acl, _) = simple_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        // Uninstrumented: no histogram work at all.
+        for i in 0..10 {
+            ex.process(&mut Packet::with_slots(vec![100 + i, 0]));
+        }
+        assert!(ex.observations().is_empty());
+        ex.set_instrumentation(true, 4);
+        for i in 0..100 {
+            ex.process(&mut Packet::with_slots(vec![100 + i, 0]));
+        }
+        let obs = ex.take_observations();
+        assert_eq!(obs.packet_latency.count(), 25, "1-in-4 sampling");
+        assert_eq!(obs.per_table[&acl].count(), 25);
+        assert!(ex.observations().is_empty(), "take must reset");
     }
 
     #[test]

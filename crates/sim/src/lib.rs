@@ -22,6 +22,9 @@
 //! * [`nic`] — [`SmartNic`]: multicore dispatch (RSS by flow hash),
 //!   throughput/latency measurement, and the control-plane entry API
 //!   (insert/delete/modify, cache flush).
+//! * [`observe`] — [`ExecObservations`]: mergeable latency histograms
+//!   (end-to-end and per-table) recorded for sampled packets, built on
+//!   `pipeleon-obs`.
 //! * [`sharded`] — [`ShardedNic`]: the same datapath sharded over `N`
 //!   parallel worker threads by flow hash, with deterministic merging of
 //!   per-shard profiles and batch statistics.
@@ -38,6 +41,7 @@ pub mod cache;
 pub mod engine;
 pub mod exec;
 pub mod nic;
+pub mod observe;
 pub mod packet;
 pub mod sharded;
 
@@ -46,5 +50,6 @@ pub use cache::{LruCache, RateLimiter};
 pub use engine::{LookupOutcome, MatchEngine};
 pub use exec::{ExecReport, Executor, PacketTrace};
 pub use nic::{BatchStats, NicConfig, PacketRecord, SmartNic};
+pub use observe::ExecObservations;
 pub use packet::Packet;
 pub use sharded::ShardedNic;

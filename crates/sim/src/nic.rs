@@ -118,7 +118,12 @@ impl BatchStats {
         let throughput_gbps = (total_bits / duration_ns).min(offered_gbps);
         let mean = latencies.iter().sum::<f64>() / n as f64;
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
-        let p99 = latencies[((n as f64 * 0.99) as usize).min(latencies.len() - 1)];
+        // Nearest-rank percentile: the smallest value with at least
+        // ceil(0.99·n) samples at or below it. The previous
+        // `(n·0.99) as usize` truncation over-indexed (n=100 picked the
+        // max instead of the 99th of 100).
+        let rank = ((n as f64 * 0.99).ceil() as usize).clamp(1, latencies.len());
+        let p99 = latencies[rank - 1];
         BatchStats {
             packets: n,
             dropped,
@@ -259,6 +264,12 @@ impl SmartNic {
         self.exec.take_profile()
     }
 
+    /// Takes the latency histograms recorded for sampled packets since
+    /// the last call.
+    pub fn take_observations(&mut self) -> crate::observe::ExecObservations {
+        self.exec.take_observations()
+    }
+
     /// Current simulation time in seconds.
     pub fn now_s(&self) -> f64 {
         self.exec.now_s
@@ -362,6 +373,32 @@ mod tests {
 
     fn packets(n: usize) -> Vec<Packet> {
         (0..n).map(|i| Packet::with_slots(vec![i as u64])).collect()
+    }
+
+    /// Nearest-rank p99 over latencies 1..=n ns is exactly ceil(0.99·n).
+    /// The pre-fix truncating index `(n·0.99) as usize` returned the max
+    /// for n=100 (rank 100) instead of the nearest-rank value (rank 99).
+    #[test]
+    fn p99_is_nearest_rank() {
+        for (n, expected) in [(1u64, 1.0), (99, 99.0), (100, 99.0), (101, 100.0)] {
+            let records: Vec<PacketRecord> = (0..n)
+                .map(|i| PacketRecord {
+                    arrival: i,
+                    core: 0,
+                    latency_ns: (i + 1) as f64,
+                    dropped: false,
+                    migrations: 0,
+                    counter_updates: 0,
+                    bits: 4096.0,
+                })
+                .collect();
+            let s = BatchStats::from_records(&records, 1, 1e6, 100.0);
+            assert_eq!(
+                s.p99_latency_ns, expected,
+                "n={n}: expected nearest-rank p99 {expected}, got {}",
+                s.p99_latency_ns
+            );
+        }
     }
 
     #[test]

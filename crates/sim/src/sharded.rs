@@ -38,6 +38,7 @@
 use crate::backend::NicBackend;
 use crate::exec::{ExecReport, Executor};
 use crate::nic::{BatchStats, NicConfig, PacketRecord};
+use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
@@ -232,6 +233,20 @@ impl ShardedNic {
         merged
     }
 
+    /// Takes the merged latency observations across all shards since the
+    /// last call. Histogram merging is bit-exact (integer bucket sums),
+    /// and the counter-sampling decision is driven by global arrival
+    /// indices, so the merged histograms are bit-identical to a
+    /// single-threaded [`SmartNic`](crate::SmartNic) run on the same
+    /// traffic, for any worker count.
+    pub fn take_observations(&mut self) -> ExecObservations {
+        let mut merged = ExecObservations::new();
+        for exec in &mut self.execs {
+            merged.merge(&exec.take_observations());
+        }
+        merged
+    }
+
     /// Runs a batch offered at line rate through the sharded datapath and
     /// reports achieved throughput and latency statistics, bit-identical
     /// to [`SmartNic::measure`](crate::SmartNic::measure) on the same
@@ -332,6 +347,10 @@ impl NicBackend for ShardedNic {
         ShardedNic::take_profile(self)
     }
 
+    fn take_observations(&mut self) -> ExecObservations {
+        ShardedNic::take_observations(self)
+    }
+
     fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
         ShardedNic::insert_entry(self, node, entry)
     }
@@ -411,6 +430,10 @@ mod tests {
         let b = sharded.measure(packets(4000));
         assert_eq!(a, b);
         assert_eq!(single.take_profile(), sharded.take_profile());
+        let obs_a = single.take_observations();
+        let obs_b = sharded.take_observations();
+        assert!(!obs_a.packet_latency.is_empty());
+        assert_eq!(obs_a, obs_b, "merged histograms must be bit-identical");
     }
 
     #[test]

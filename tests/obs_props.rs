@@ -1,0 +1,131 @@
+//! Property tests for the [`LatencyHistogram`] merge algebra and the
+//! nearest-rank quantile error bound.
+//!
+//! The sharded datapath merges per-worker histograms in whatever order
+//! workers drain, so `merge` must be bit-exact commutative and
+//! associative with the empty histogram as identity — the same laws
+//! `RuntimeProfile::merge` obeys (see `profile_merge_props.rs`). The
+//! quantile bound is the layout's promise: the reported value and the
+//! exact nearest-rank sample always share a bucket, so the error is at
+//! most one bucket width (`1/SUB_BUCKETS` relative, exact below
+//! `SUB_BUCKETS` ns).
+
+use pipeleon_obs::{bucket_index, LatencyHistogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Nanosecond samples spanning the exact region, the log-bucketed
+/// mid-range, and a sprinkle of huge values. (The vendored proptest
+/// stand-in has no `prop_oneof`, so a selector picks the region.)
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u8..15, 0u64..(1u64 << 40)), 0..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(region, raw)| match region {
+                0..=3 => raw % SUB_BUCKETS,
+                4..=11 => SUB_BUCKETS + raw % (100_000 - SUB_BUCKETS),
+                12..=13 => raw,
+                _ => u64::MAX,
+            })
+            .collect()
+    })
+}
+
+fn build(vs: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in vs {
+        h.record_ns(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(a in samples()) {
+        let ha = build(&a);
+        let mut left = LatencyHistogram::new();
+        left.merge(&ha);
+        let mut right = ha.clone();
+        right.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&left, &ha);
+        prop_assert_eq!(&right, &ha);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_once(a in samples(), b in samples()) {
+        // Partition-invariance: recording two shards then merging is
+        // bit-identical to recording the concatenation into one
+        // histogram — the property the sharded datapath depends on.
+        let mut merged = build(&a);
+        merged.merge(&build(&b));
+        let mut whole = build(&a.iter().chain(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(&merged, &whole);
+        // Merging in more pieces changes nothing either.
+        whole = LatencyHistogram::new();
+        for chunk in a.chunks(3).chain(b.chunks(3)) {
+            whole.merge(&build(chunk));
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn quantile_shares_a_bucket_with_the_exact_nearest_rank(
+        vs in prop::collection::vec(0u64..(1 << 40), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = build(&vs);
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.quantile(q).unwrap();
+        // Same bucket => relative error bounded by the bucket width.
+        prop_assert_eq!(
+            bucket_index(got),
+            bucket_index(exact),
+            "q={} rank={} exact={} got={}",
+            q, rank, exact, got
+        );
+        if exact < SUB_BUCKETS {
+            prop_assert_eq!(got, exact, "sub-{}ns values are exact", SUB_BUCKETS);
+        } else {
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err <= 1.0 / SUB_BUCKETS as f64, "err {} too large", err);
+        }
+        // And the reported value never escapes the recorded range.
+        prop_assert!(got >= h.min_ns().unwrap() && got <= h.max_ns().unwrap());
+    }
+
+    #[test]
+    fn aggregates_match_the_raw_samples(vs in samples()) {
+        let h = build(&vs);
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.sum_ns(), vs.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min_ns(), vs.iter().min().copied());
+        prop_assert_eq!(h.max_ns(), vs.iter().max().copied());
+    }
+}

@@ -130,6 +130,49 @@ fn uninstrumented_runs_also_match() {
 }
 
 #[test]
+fn sharded_histograms_merge_bit_identically() {
+    // The observability layer rides the same sampled path: per-worker
+    // latency histograms, merged in shard order, must be bit-identical
+    // to the single-threaded histograms for every worker count — both
+    // the packet-level histogram and every per-table histogram.
+    let dash = DashRouting::build();
+    let params = CostParams::bluefield2();
+    let mut single = SmartNic::new(dash.graph.clone(), params.clone()).unwrap();
+    single.set_instrumentation(true, 8);
+    let batch: Vec<Packet> = dash.traffic(&[0.2, 0.1, 0.0], 600, 1.1, 9).batch(6_000);
+    single.measure(batch.clone());
+    let reference = single.take_observations();
+    assert!(
+        !reference.is_empty(),
+        "sampled run must record observations"
+    );
+    for workers in WORKER_COUNTS {
+        let mut sharded = ShardedNic::new(dash.graph.clone(), params.clone(), workers).unwrap();
+        sharded.set_instrumentation(true, 8);
+        sharded.measure(batch.clone());
+        let merged = sharded.take_observations();
+        let ctx = format!("observations workers={workers}");
+        assert_eq!(
+            merged.packet_latency, reference.packet_latency,
+            "{ctx}: packet latency histogram"
+        );
+        assert_eq!(
+            merged.per_table.keys().collect::<Vec<_>>(),
+            reference.per_table.keys().collect::<Vec<_>>(),
+            "{ctx}: instrumented table set"
+        );
+        for (node, hist) in &reference.per_table {
+            assert_eq!(
+                merged.per_table.get(node),
+                Some(hist),
+                "{ctx}: table {node:?} histogram"
+            );
+        }
+        assert_eq!(merged, reference, "{ctx}: full observations");
+    }
+}
+
+#[test]
 fn process_one_matches_across_worker_counts() {
     // The single-packet path uses the same global sequence numbers, so
     // reports and profiles must match too.
