@@ -9,7 +9,9 @@ use pipeleon_cost::{Calibrator, CostModel, CostParams, ResourceModel, RuntimePro
 use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::ProgramGraph;
 use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
-use pipeleon_sim::{BatchStats, ExecObservations, Packet, ShardedNic, SmartNic};
+use pipeleon_sim::{
+    BatchStats, EngineMode, ExecObservations, NicConfig, Packet, ShardedNic, SmartNic,
+};
 use pipeleon_verify::{lint_program, render_report, render_report_json, LintConfig, Severity};
 use pipeleon_workloads::traffic::FlowGen;
 
@@ -21,7 +23,8 @@ USAGE:
            [--top-k F] [--memory BYTES] [--updates RATE] [-o out.json]
   pipeleon simulate <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--trace t.trace]
-           [--workers N] [--sample N] [--profile-out p.json]
+           [--workers N] [--sample N] [--engine compiled|interp]
+           [--batch N] [--profile-out p.json]
            [--metrics-out m.prom|m.json] [--journal-out j.jsonl]
            [--chaos-seed S [--windows N]]
   pipeleon metrics  <program> [--target T] [--packets N]
@@ -302,6 +305,16 @@ fn write_journal(path: &str, journal: &EventJournal) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--engine compiled|interp` (compiled is the default; both
+/// engines produce bit-identical results).
+fn engine_mode(args: &Args) -> Result<EngineMode, String> {
+    match args.get_or("engine", "compiled") {
+        "compiled" => Ok(EngineMode::Compiled),
+        "interp" | "interpreter" => Ok(EngineMode::Interpreter),
+        other => Err(format!("unknown --engine {other:?} (compiled | interp)")),
+    }
+}
+
 fn simulate(args: &Args) -> Result<(), String> {
     let params = target(args)?;
     let g = load_program(args)?;
@@ -309,6 +322,11 @@ fn simulate(args: &Args) -> Result<(), String> {
     let packets = args.get_usize("packets", 20_000)?;
     let workers = args.get_usize("workers", 1)?;
     let sample = args.get_usize("sample", 1)?.max(1) as u64;
+    let engine = engine_mode(args)?;
+    let config = NicConfig {
+        batch: args.get_usize("batch", 32)?.max(1),
+        ..NicConfig::default()
+    };
     let batch = gen_batch(args, &g, packets)?;
     // Chaos mode: instead of one measurement batch, run the runtime
     // controller loop against a fault-injected target and report per-
@@ -319,10 +337,16 @@ fn simulate(args: &Args) -> Result<(), String> {
             .map_err(|_| format!("bad --chaos-seed {s:?} (expected u64)"))?;
         let windows = args.get_usize("windows", 5)?;
         return if workers > 1 {
-            let nic = ShardedNic::new(g.clone(), params, workers).map_err(|e| e.to_string())?;
+            let mut nic = ShardedNic::new(g.clone(), params, workers)
+                .map_err(|e| e.to_string())?
+                .with_config(config);
+            nic.set_engine_mode(engine);
             chaos_simulate(args, nic, chaos_seed, windows, batch)
         } else {
-            let nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
+            let mut nic = SmartNic::new(g.clone(), params)
+                .map_err(|e| e.to_string())?
+                .with_config(config);
+            nic.set_engine_mode(engine);
             chaos_simulate(args, nic, chaos_seed, windows, batch)
         };
     }
@@ -330,14 +354,20 @@ fn simulate(args: &Args) -> Result<(), String> {
     // worker count reports bit-identical statistics; >1 exercises the
     // parallel path (and finishes sooner on big batches).
     let (stats, profile, obs, elapsed_s) = if workers > 1 {
-        let mut nic = ShardedNic::new(g.clone(), params, workers).map_err(|e| e.to_string())?;
+        let mut nic = ShardedNic::new(g.clone(), params, workers)
+            .map_err(|e| e.to_string())?
+            .with_config(config);
+        nic.set_engine_mode(engine);
         nic.set_instrumentation(true, sample);
         let stats = nic.measure(batch);
         let (p, o) = (nic.take_profile(), nic.take_observations());
         let t = pipeleon_sim::NicBackend::now_s(&nic);
         (stats, p, o, t)
     } else {
-        let mut nic = SmartNic::new(g.clone(), params).map_err(|e| e.to_string())?;
+        let mut nic = SmartNic::new(g.clone(), params)
+            .map_err(|e| e.to_string())?
+            .with_config(config);
+        nic.set_engine_mode(engine);
         nic.set_instrumentation(true, sample);
         let stats = nic.measure(batch);
         let (p, o) = (nic.take_profile(), SmartNic::take_observations(&mut nic));
@@ -766,6 +796,47 @@ mod tests {
             std::fs::read_to_string(&sharded).unwrap(),
             "sharded profile must be byte-identical to single-threaded"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_engine_flag_is_bit_reproducible() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test11_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let compiled = dir.join("compiled.json");
+        let interp = dir.join("interp.json");
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--engine",
+            "compiled",
+            "--batch",
+            "64",
+            "--profile-out",
+            compiled.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--engine",
+            "interp",
+            "--profile-out",
+            interp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&compiled).unwrap(),
+            std::fs::read_to_string(&interp).unwrap(),
+            "compiled-engine profile must be byte-identical to the interpreter's"
+        );
+        let err = run(&v(&["simulate", prog.to_str().unwrap(), "--engine", "jit"])).unwrap_err();
+        assert!(err.contains("unknown --engine"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,7 +6,7 @@
 //! [`crate::ShardedNic`] (multi-worker) both implement it, so a
 //! `SimTarget` can be backed by either interchangeably.
 
-use crate::exec::ExecReport;
+use crate::exec::{EngineMode, ExecReport};
 use crate::nic::BatchStats;
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
@@ -57,8 +57,24 @@ pub trait NicBackend {
     /// Enables counter instrumentation with `sample_every` packet sampling.
     fn set_instrumentation(&mut self, enabled: bool, sample_every: u64);
 
+    /// Selects the packet-execution engine: the reference interpreter or
+    /// the compiled datapath (the default). Both produce bit-identical
+    /// results; the compiled engine is the fast path.
+    fn set_engine_mode(&mut self, mode: EngineMode);
+
+    /// The currently selected packet-execution engine.
+    fn engine_mode(&self) -> EngineMode;
+
     /// Processes one packet (no arrival pacing).
     fn process_one(&mut self, packet: &mut Packet) -> ExecReport;
+
+    /// Processes a batch of packets in place (no arrival pacing),
+    /// returning one report per packet. The default implementation loops
+    /// [`NicBackend::process_one`]; datapaths with a batch-oriented fast
+    /// path override it.
+    fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        packets.iter_mut().map(|p| self.process_one(p)).collect()
+    }
 
     /// Runs a batch offered at line rate and reports throughput/latency.
     fn measure_batch(&mut self, packets: Vec<Packet>) -> BatchStats;
@@ -117,8 +133,20 @@ impl NicBackend for SmartNic {
         SmartNic::set_instrumentation(self, enabled, sample_every)
     }
 
+    fn set_engine_mode(&mut self, mode: EngineMode) {
+        SmartNic::set_engine_mode(self, mode)
+    }
+
+    fn engine_mode(&self) -> EngineMode {
+        SmartNic::engine_mode(self)
+    }
+
     fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
         SmartNic::process_one(self, packet)
+    }
+
+    fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        SmartNic::process_batch(self, packets)
     }
 
     fn measure_batch(&mut self, packets: Vec<Packet>) -> BatchStats {

@@ -4,16 +4,24 @@
 //! insertion rate limit for each cache; insertions beyond the limit will be
 //! dropped.").
 
+use std::borrow::Borrow;
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
 
 /// Slab-backed doubly-linked LRU cache from key `K` to value `V`.
 ///
 /// `get` refreshes recency; `insert` evicts the least-recently-used entry
 /// when at capacity. All operations are O(1) expected.
+///
+/// The hasher is pluggable (`S`, default SipHash): the compiled datapath
+/// keys flow caches by [`crate::SmallKey`] under
+/// [`fxhash::FxBuildHasher`], and looks them up by borrowed `&[u64]`
+/// scratch slices — no key allocation or clone per lookup.
 #[derive(Debug, Clone)]
-pub struct LruCache<K, V> {
+pub struct LruCache<K, V, S: BuildHasher = RandomState> {
     capacity: usize,
-    map: HashMap<K, usize>,
+    map: HashMap<K, usize, S>,
     slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
     head: Option<usize>, // most recently used
@@ -28,19 +36,29 @@ struct Slot<K, V> {
     next: Option<usize>,
 }
 
-impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries (min 1).
     pub fn new(capacity: usize) -> Self {
+        Self::with_default_hasher(capacity)
+    }
+}
+
+impl<K: Hash + Eq + Clone, V, S: BuildHasher + Default> LruCache<K, V, S> {
+    /// Like [`LruCache::new`], but with an explicit hasher type `S`
+    /// (constructed via `Default`).
+    pub fn with_default_hasher(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
-            map: HashMap::new(),
+            map: HashMap::default(),
             slots: Vec::new(),
             free: Vec::new(),
             head: None,
             tail: None,
         }
     }
+}
 
+impl<K: Hash + Eq + Clone, V, S: BuildHasher> LruCache<K, V, S> {
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -82,8 +100,14 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
         }
     }
 
-    /// Looks up `key`, refreshing its recency on hit.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
+    /// Looks up `key`, refreshing its recency on hit. Accepts any
+    /// borrowed form of the key (e.g. a `&[u64]` scratch slice for
+    /// [`crate::SmallKey`] keys) so the hot path never materializes one.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let idx = *self.map.get(key)?;
         if self.head != Some(idx) {
             self.detach(idx);
@@ -93,7 +117,11 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
     }
 
     /// Checks for `key` without touching recency.
-    pub fn peek(&self, key: &K) -> Option<&V> {
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.map.get(key).map(|&i| &self.slots[i].value)
     }
 
@@ -170,7 +198,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
     }
 }
 
-impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+impl<K: Hash + Eq + Clone, V: Clone, S: BuildHasher> LruCache<K, V, S> {
     /// Removes `key`, returning a clone of its value. The slot is recycled
     /// through the free list; the stale value is overwritten on reuse.
     pub fn remove_cloned(&mut self, key: &K) -> Option<V> {

@@ -1,0 +1,536 @@
+//! The compiled datapath: a flat, index-addressed lowering of a deployed
+//! [`ProgramGraph`].
+//!
+//! The interpreter walks the graph through `NodeId → Vec<Option<Node>>`
+//! hops, clones each action's primitive list per packet, and hashes
+//! `Vec<u64>` match keys with SipHash. [`CompiledPipeline`] lowers the
+//! program once: nodes live in a contiguous arena addressed by dense
+//! `u32` slots, branch comparison counts and placement/tier cost scales
+//! are pre-resolved to `f64`, action bodies are pre-boxed slices executed
+//! in place, and match keys are [`SmallKey`]s hashed with FxHash and
+//! queried through borrowed `&[u64]` scratch — so the steady-state hot
+//! path performs zero heap allocations per packet.
+//!
+//! Lowering preserves the interpreter's semantics *and accounting*
+//! bit-for-bit: every latency term is applied with the same operand
+//! values in the same multiplication and addition order, and lookup
+//! probe/resolution order is inherited from [`MatchEngine`] (the compiled
+//! engine is converted from a freshly built interpreter engine rather
+//! than re-deriving way layout).
+
+use crate::engine::{KeyScratch, LookupOutcome, MatchEngine, Resolve};
+use crate::packet::Packet;
+use crate::smallkey::SmallKey;
+use fxhash::FxHashMap;
+use pipeleon_cost::{CostParams, MatchCostModel, MemoryTier, Placement};
+use pipeleon_ir::{
+    CacheRole, Condition, FieldRef, MatchValue, NextHops, NodeId, NodeKind, Primitive,
+    ProgramGraph, Table,
+};
+
+/// Sentinel slot meaning "no node" (the sink, or a tombstoned id).
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// The entry indices stored under one way key. Single-entry lists (the
+/// overwhelmingly common case) are inline — no `Box` deref per hit.
+#[derive(Debug, Clone)]
+enum CEntries {
+    One(usize),
+    Many(Box<[usize]>),
+}
+
+impl CEntries {
+    fn from_list(v: &[usize]) -> Self {
+        match v {
+            [one] => CEntries::One(*one),
+            many => CEntries::Many(many.to_vec().into_boxed_slice()),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            CEntries::One(i) => std::slice::from_ref(i),
+            CEntries::Many(b) => b,
+        }
+    }
+}
+
+/// The key map of one way. Single-field keys hash the raw `u64` (no
+/// slice length prefix, no [`SmallKey`] dispatch); wider keys go through
+/// the scratch-composed slice.
+#[derive(Debug, Clone)]
+enum CWayMap {
+    U64(FxHashMap<u64, CEntries>),
+    Multi(FxHashMap<SmallKey, CEntries>),
+}
+
+/// One hash-table way of a [`CompiledEngine`]: FxHash-keyed copy of the
+/// interpreter way.
+#[derive(Debug, Clone)]
+struct CWay {
+    masks: Box<[u64]>,
+    /// All-ones masks (exact ways): the composed key can be hashed
+    /// directly, skipping the masked-copy step.
+    full_mask: bool,
+    map: CWayMap,
+}
+
+/// A range entry replicated out of the table for graph-free scanning.
+#[derive(Debug, Clone)]
+struct CScanEntry {
+    idx: usize,
+    matches: Box<[MatchValue]>,
+}
+
+/// The compiled match engine for one table. Semantically identical to
+/// [`MatchEngine::lookup`] (it is converted from one), but needs no
+/// `&Table` at lookup time and hashes inline [`SmallKey`]s with FxHash.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledEngine {
+    key_fields: Box<[FieldRef]>,
+    ways: Vec<CWay>,
+    scan: Vec<CScanEntry>,
+    resolve: Resolve,
+    default_action: usize,
+    /// Entry index → (action, priority).
+    entry_meta: Box<[(usize, i32)]>,
+    has_keys: bool,
+}
+
+impl CompiledEngine {
+    /// Builds the compiled engine by converting a freshly built
+    /// interpreter engine — way order, entry-list order and resolution
+    /// rules carry over verbatim, so probe counts and resolved entries
+    /// are identical by construction.
+    pub(crate) fn from_table(table: &Table) -> Self {
+        let me = MatchEngine::build(table);
+        let ways = me
+            .ways
+            .iter()
+            .map(|w| CWay {
+                masks: w.masks.clone().into_boxed_slice(),
+                full_mask: w.masks.iter().all(|&m| m == !0u64),
+                map: if w.masks.len() == 1 {
+                    CWayMap::U64(
+                        w.map
+                            .iter()
+                            .map(|(k, v)| (k[0], CEntries::from_list(v)))
+                            .collect(),
+                    )
+                } else {
+                    CWayMap::Multi(
+                        w.map
+                            .iter()
+                            .map(|(k, v)| (SmallKey::from_slice(k), CEntries::from_list(v)))
+                            .collect(),
+                    )
+                },
+            })
+            .collect();
+        let scan = me
+            .scan_entries
+            .iter()
+            .map(|&idx| CScanEntry {
+                idx,
+                matches: table.entries[idx].matches.clone().into_boxed_slice(),
+            })
+            .collect();
+        Self {
+            key_fields: me.key_fields.into_boxed_slice(),
+            ways,
+            scan,
+            resolve: me.resolve,
+            default_action: me.default_action,
+            entry_meta: me.entry_meta.into_boxed_slice(),
+            has_keys: me.has_keys,
+        }
+    }
+
+    /// Allocation-free lookup; mirrors [`MatchEngine::lookup`] exactly.
+    /// After the call `scratch.values()` holds the composed key values.
+    pub(crate) fn lookup(&self, packet: &Packet, scratch: &mut KeyScratch) -> LookupOutcome {
+        scratch.values.clear();
+        if !self.has_keys {
+            return LookupOutcome {
+                entry: None,
+                action: self.default_action,
+                probes: 0,
+            };
+        }
+        scratch
+            .values
+            .extend(self.key_fields.iter().map(|&f| packet.get(f)));
+        let mut probes = 0usize;
+        let mut best: Option<(usize, i32)> = None; // (entry, priority)
+        for way in &self.ways {
+            probes += 1;
+            // Masking with all-ones is the identity, so exact ways hash
+            // the composed key in place; single-field ways hash the raw
+            // u64 without going through a slice at all.
+            let found: Option<&CEntries> = match &way.map {
+                CWayMap::U64(m) => {
+                    let k = if way.full_mask {
+                        scratch.values[0]
+                    } else {
+                        scratch.values[0] & way.masks[0]
+                    };
+                    m.get(&k)
+                }
+                CWayMap::Multi(m) => {
+                    let key: &[u64] = if way.full_mask {
+                        scratch.values.as_slice()
+                    } else {
+                        scratch.masked.clear();
+                        scratch.masked.extend(
+                            scratch
+                                .values
+                                .iter()
+                                .zip(way.masks.iter())
+                                .map(|(v, m)| v & m),
+                        );
+                        scratch.masked.as_slice()
+                    };
+                    m.get(key)
+                }
+            };
+            if let Some(entries) = found {
+                for &idx in entries.as_slice() {
+                    let (_, prio) = self.entry_meta[idx];
+                    let better = match best {
+                        None => true,
+                        Some((best_idx, best_prio)) => match self.resolve {
+                            Resolve::Priority => {
+                                prio > best_prio || (prio == best_prio && idx < best_idx)
+                            }
+                            _ => false,
+                        },
+                    };
+                    if better {
+                        best = Some((idx, prio));
+                    }
+                }
+                if !matches!(self.resolve, Resolve::Priority) && best.is_some() {
+                    break;
+                }
+            }
+        }
+        if !self.scan.is_empty() {
+            probes += 1;
+            for e in &self.scan {
+                let hit = e
+                    .matches
+                    .iter()
+                    .zip(scratch.values.iter())
+                    .all(|(mv, &v)| mv.matches(v));
+                if hit {
+                    let idx = e.idx;
+                    let (_, prio) = self.entry_meta[idx];
+                    let better = match best {
+                        None => true,
+                        Some((best_idx, best_prio)) => {
+                            prio > best_prio || (prio == best_prio && idx < best_idx)
+                        }
+                    };
+                    if better {
+                        best = Some((idx, prio));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((idx, _)) => LookupOutcome {
+                entry: Some(idx),
+                action: self.entry_meta[idx].0,
+                probes,
+            },
+            None => LookupOutcome {
+                entry: None,
+                action: self.default_action,
+                probes: probes.max(1),
+            },
+        }
+    }
+}
+
+/// Successor slots of a compiled table node.
+#[derive(Debug, Clone)]
+pub(crate) enum CNext {
+    /// Unconditional successor.
+    Always(u32),
+    /// Per-action successor (indexed by resolved action).
+    ByAction(Box<[u32]>),
+}
+
+/// A compiled table node.
+#[derive(Debug, Clone)]
+pub(crate) struct CTable {
+    /// The FxHash match engine (unused for flow-cache nodes).
+    pub(crate) engine: CompiledEngine,
+    /// Action index → pre-boxed primitive body.
+    pub(crate) actions: Vec<Box<[Primitive]>>,
+    /// Pre-resolved charged probes under a `Fixed` match model
+    /// (`None` under `PerDistinctPattern`).
+    pub(crate) charged_fixed: Option<f64>,
+    /// `PerDistinctPattern` probe cap (unused under `Fixed`).
+    pub(crate) pattern_cap: usize,
+    /// Successor slots.
+    pub(crate) next: CNext,
+    /// Whether this node is a [`CacheRole::FlowCache`] switch node.
+    pub(crate) is_flow_cache: bool,
+    /// Key fields (flow-cache key composition).
+    pub(crate) key_fields: Box<[FieldRef]>,
+    /// The table's default (miss) action.
+    pub(crate) default_action: usize,
+    /// Flow-cache hit successor slot.
+    pub(crate) hit_slot: u32,
+    /// Flow-cache miss successor slot.
+    pub(crate) miss_slot: u32,
+}
+
+/// A compiled node's executable shape.
+#[derive(Debug, Clone)]
+pub(crate) enum CStep {
+    /// A branch: pre-counted comparisons and both successor slots.
+    Branch {
+        /// The condition to evaluate against the packet slots.
+        condition: Condition,
+        /// `num_comparisons().max(1)` pre-converted to `f64`.
+        comparisons: f64,
+        /// Successor slot when true.
+        on_true: u32,
+        /// Successor slot when false.
+        on_false: u32,
+    },
+    /// A (possibly flow-cache) table.
+    Table(Box<CTable>),
+}
+
+/// One node of the compiled program arena.
+#[derive(Debug, Clone)]
+pub(crate) struct CNode {
+    /// The original graph node id (profiles/traces speak `NodeId`).
+    pub(crate) id: NodeId,
+    /// Pre-resolved placement.
+    pub(crate) place: Placement,
+    /// Pre-resolved placement cost scale (1.0 or `cpu_scale`).
+    pub(crate) scale: f64,
+    /// Pre-resolved memory-tier match scale.
+    pub(crate) tier_scale: f64,
+    /// Executable shape.
+    pub(crate) step: CStep,
+}
+
+/// A flat, index-addressed lowering of one deployed program.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPipeline {
+    /// Node arena in graph iteration order.
+    pub(crate) nodes: Vec<CNode>,
+    /// `NodeId` index → arena slot ([`NO_SLOT`] for tombstones).
+    pub(crate) slot_of: Vec<u32>,
+    /// Entry slot ([`NO_SLOT`] for an empty program).
+    pub(crate) root: u32,
+}
+
+impl CompiledPipeline {
+    /// Lowers a validated graph against the given cost parameters,
+    /// placement and memory tiers (all of which are baked into the
+    /// compiled arena and invalidate it when they change).
+    pub(crate) fn build(
+        graph: &ProgramGraph,
+        params: &CostParams,
+        placement: &[Placement],
+        tiers: &[MemoryTier],
+    ) -> Self {
+        let mut slot_of = vec![NO_SLOT; graph.id_bound()];
+        let ids: Vec<NodeId> = graph.iter_nodes().map(|n| n.id).collect();
+        for (slot, id) in ids.iter().enumerate() {
+            slot_of[id.index()] = slot as u32;
+        }
+        let nodes = ids
+            .iter()
+            .map(|&id| compile_node(graph, params, placement, tiers, &slot_of, id))
+            .collect();
+        let root = graph.root().map_or(NO_SLOT, |r| slot_of[r.index()]);
+        Self {
+            nodes,
+            slot_of,
+            root,
+        }
+    }
+
+    /// Recompiles a single node in place (entry insert/remove, table
+    /// replacement). Returns `false` if the node has no slot, in which
+    /// case the caller must fall back to a full recompile.
+    pub(crate) fn recompile_node(
+        &mut self,
+        graph: &ProgramGraph,
+        params: &CostParams,
+        placement: &[Placement],
+        tiers: &[MemoryTier],
+        id: NodeId,
+    ) -> bool {
+        let slot = self.slot_of.get(id.index()).copied().unwrap_or(NO_SLOT);
+        if slot == NO_SLOT || graph.node(id).is_none() {
+            return false;
+        }
+        self.nodes[slot as usize] =
+            compile_node(graph, params, placement, tiers, &self.slot_of, id);
+        true
+    }
+
+    /// The arena slot of a node id ([`NO_SLOT`] if absent).
+    #[inline]
+    pub(crate) fn slot(&self, id: NodeId) -> u32 {
+        self.slot_of.get(id.index()).copied().unwrap_or(NO_SLOT)
+    }
+}
+
+fn compile_node(
+    graph: &ProgramGraph,
+    params: &CostParams,
+    placement: &[Placement],
+    tiers: &[MemoryTier],
+    slot_of: &[u32],
+    id: NodeId,
+) -> CNode {
+    let node = graph.node(id).expect("live node");
+    let place = placement
+        .get(id.index())
+        .copied()
+        .unwrap_or(Placement::Asic);
+    let scale = match place {
+        Placement::Asic => 1.0,
+        Placement::Cpu => params.cpu_scale,
+    };
+    let tier = tiers.get(id.index()).copied().unwrap_or(MemoryTier::Emem);
+    let tier_scale = params.tiers.match_scale(tier);
+    let to_slot = |t: Option<NodeId>| {
+        t.map_or(NO_SLOT, |n| {
+            slot_of.get(n.index()).copied().unwrap_or(NO_SLOT)
+        })
+    };
+    let step = match (&node.kind, &node.next) {
+        (NodeKind::Branch(b), NextHops::Branch { on_true, on_false }) => CStep::Branch {
+            condition: b.condition.clone(),
+            comparisons: b.condition.num_comparisons().max(1) as f64,
+            on_true: to_slot(*on_true),
+            on_false: to_slot(*on_false),
+        },
+        (NodeKind::Table(t), next) => {
+            let engine = CompiledEngine::from_table(t);
+            let actions: Vec<Box<[Primitive]>> = t
+                .actions
+                .iter()
+                .map(|a| a.primitives.clone().into_boxed_slice())
+                .collect();
+            let (charged_fixed, pattern_cap) = match params.match_model {
+                MatchCostModel::Fixed { .. } => (Some(params.memory_accesses(t)), usize::MAX),
+                MatchCostModel::PerDistinctPattern { cap } => (None, cap),
+            };
+            let (hit_slot, miss_slot) = match next {
+                NextHops::ByAction(v) => (
+                    to_slot(v.first().copied().flatten()),
+                    to_slot(v.get(t.default_action).copied().flatten()),
+                ),
+                NextHops::Always(tn) => (to_slot(*tn), to_slot(*tn)),
+                NextHops::Branch { .. } => unreachable!("table with branch hops"),
+            };
+            let cnext = match next {
+                NextHops::Always(tn) => CNext::Always(to_slot(*tn)),
+                NextHops::ByAction(v) => CNext::ByAction(v.iter().map(|t| to_slot(*t)).collect()),
+                NextHops::Branch { .. } => unreachable!("table with branch hops"),
+            };
+            CStep::Table(Box::new(CTable {
+                engine,
+                actions,
+                charged_fixed,
+                pattern_cap,
+                next: cnext,
+                is_flow_cache: t.cache_role == CacheRole::FlowCache,
+                key_fields: t.keys.iter().map(|k| k.field).collect(),
+                default_action: t.default_action,
+                hit_slot,
+                miss_slot,
+            }))
+        }
+        _ => unreachable!("validated graph: branch node with non-branch hops"),
+    };
+    CNode {
+        id,
+        place,
+        scale,
+        tier_scale,
+        step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::{Action, MatchKey, MatchKind, TableEntry};
+
+    fn packet(vals: &[u64]) -> Packet {
+        Packet::with_slots(vals.to_vec())
+    }
+
+    fn table_with(kind: MatchKind, entries: Vec<TableEntry>) -> Table {
+        let mut t = Table::new("t");
+        t.keys = vec![MatchKey {
+            field: FieldRef(0),
+            kind,
+        }];
+        t.actions = vec![Action::nop("miss"), Action::nop("hit")];
+        t.entries = entries;
+        t
+    }
+
+    /// The compiled engine agrees with the interpreter engine on entry,
+    /// action, and probe count for mixed ternary entries.
+    #[test]
+    fn compiled_engine_matches_interpreter_engine() {
+        let mut entries = Vec::new();
+        let mut x: u64 = 0xDEAD;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..40 {
+            let v = next() % 32;
+            let m = next() % 32;
+            entries.push(TableEntry::with_priority(
+                vec![MatchValue::Ternary { value: v, mask: m }],
+                (i % 2) as usize,
+                (next() % 8) as i32,
+            ));
+        }
+        let t = table_with(MatchKind::Ternary, entries);
+        let me = MatchEngine::build(&t);
+        let ce = CompiledEngine::from_table(&t);
+        let mut s1 = KeyScratch::new();
+        let mut s2 = KeyScratch::new();
+        for _ in 0..400 {
+            let p = packet(&[next() % 32]);
+            assert_eq!(me.lookup(&t, &p, &mut s1), ce.lookup(&p, &mut s2));
+            assert_eq!(s1.values(), s2.values());
+        }
+    }
+
+    /// Lowering assigns dense slots and resolves the root.
+    #[test]
+    fn build_assigns_dense_slots() {
+        use pipeleon_ir::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let x = b.field("x");
+        let t1 = b.table("t1").key(x, MatchKind::Exact).finish();
+        b.set_next(t1, None);
+        let g = b.seal(t1).unwrap();
+        let params = CostParams::bluefield2();
+        let cp = CompiledPipeline::build(&g, &params, &[], &[]);
+        assert_eq!(cp.nodes.len(), g.num_nodes());
+        assert_ne!(cp.root, NO_SLOT);
+        assert_eq!(cp.nodes[cp.slot(t1) as usize].id, t1);
+    }
+}

@@ -21,22 +21,46 @@ pub struct LookupOutcome {
     pub probes: usize,
 }
 
+/// Reusable scratch buffers for [`MatchEngine::lookup`]: the composed key
+/// values and the per-way masked key. Caller-owned so the steady-state
+/// lookup path performs zero heap allocations (the buffers grow once to
+/// the widest key and are reused for every packet thereafter).
+#[derive(Debug, Default, Clone)]
+pub struct KeyScratch {
+    pub(crate) values: Vec<u64>,
+    pub(crate) masked: Vec<u64>,
+}
+
+impl KeyScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The key values composed by the most recent lookup (one per match
+    /// key, in declaration order). Valid until the next lookup.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
 /// One hash-table "way": all entries sharing a mask pattern.
 #[derive(Debug, Clone)]
-struct Way {
+pub(crate) struct Way {
     /// Per-key masks applied to the packet value before hashing. Exact
     /// keys use `u64::MAX`; LPM/ternary use their prefix/bit masks; range
     /// keys force a linear scan (`None` signature).
-    masks: Vec<u64>,
+    pub(crate) masks: Vec<u64>,
     /// Specificity used for LPM ordering (total set bits across masks).
-    specificity: u32,
+    pub(crate) specificity: u32,
     /// Masked key values → entry indices (highest priority kept first).
-    map: HashMap<Vec<u64>, Vec<usize>>,
+    /// Boxed keys so lookups can borrow a `&[u64]` scratch buffer.
+    pub(crate) map: HashMap<Box<[u64]>, Vec<usize>>,
 }
 
 /// How the engine resolves among ways.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Resolve {
+pub(crate) enum Resolve {
     /// Single way, first match wins (exact tables).
     Exact,
     /// Probe ways most-specific-first, stop at the first hit (LPM).
@@ -48,15 +72,15 @@ enum Resolve {
 /// A compiled match engine for one table.
 #[derive(Debug, Clone)]
 pub struct MatchEngine {
-    key_fields: Vec<pipeleon_ir::FieldRef>,
-    ways: Vec<Way>,
+    pub(crate) key_fields: Vec<pipeleon_ir::FieldRef>,
+    pub(crate) ways: Vec<Way>,
     /// Entries needing a linear scan (ranges).
-    scan_entries: Vec<usize>,
-    resolve: Resolve,
-    default_action: usize,
+    pub(crate) scan_entries: Vec<usize>,
+    pub(crate) resolve: Resolve,
+    pub(crate) default_action: usize,
     /// Entry index → (action, priority) copied from the table.
-    entry_meta: Vec<(usize, i32)>,
-    has_keys: bool,
+    pub(crate) entry_meta: Vec<(usize, i32)>,
+    pub(crate) has_keys: bool,
 }
 
 impl MatchEngine {
@@ -104,7 +128,7 @@ impl MatchEngine {
                     ways.last_mut().expect("just pushed")
                 }
             };
-            way.map.entry(key).or_default().push(idx);
+            way.map.entry(key.into_boxed_slice()).or_default().push(idx);
         }
         // LPM: most specific way first so the first hit is the longest
         // prefix. Stable by construction order otherwise.
@@ -128,8 +152,16 @@ impl MatchEngine {
     }
 
     /// Looks up a packet. `table` must be the same definition the engine
-    /// was built from (used for range comparisons).
-    pub fn lookup(&self, table: &Table, packet: &Packet) -> LookupOutcome {
+    /// was built from (used for range comparisons). The caller provides
+    /// reusable [`KeyScratch`] buffers; after the call `scratch.values()`
+    /// holds the composed key values (useful for distinct-key tracking).
+    pub fn lookup(
+        &self,
+        table: &Table,
+        packet: &Packet,
+        scratch: &mut KeyScratch,
+    ) -> LookupOutcome {
+        scratch.values.clear();
         if !self.has_keys {
             // Keyless tables always run the default action with no access.
             return LookupOutcome {
@@ -138,13 +170,18 @@ impl MatchEngine {
                 probes: 0,
             };
         }
-        let values: Vec<u64> = self.key_fields.iter().map(|&f| packet.get(f)).collect();
+        scratch
+            .values
+            .extend(self.key_fields.iter().map(|&f| packet.get(f)));
         let mut probes = 0usize;
         let mut best: Option<(usize, i32)> = None; // (entry, priority)
         for way in &self.ways {
             probes += 1;
-            let key: Vec<u64> = values.iter().zip(&way.masks).map(|(v, m)| v & m).collect();
-            if let Some(entries) = way.map.get(&key) {
+            scratch.masked.clear();
+            scratch
+                .masked
+                .extend(scratch.values.iter().zip(&way.masks).map(|(v, m)| v & m));
+            if let Some(entries) = way.map.get(scratch.masked.as_slice()) {
                 for &idx in entries {
                     let (_, prio) = self.entry_meta[idx];
                     let better = match best {
@@ -171,7 +208,11 @@ impl MatchEngine {
             probes += 1;
             for &idx in &self.scan_entries {
                 let e = &table.entries[idx];
-                let hit = e.matches.iter().zip(&values).all(|(mv, &v)| mv.matches(v));
+                let hit = e
+                    .matches
+                    .iter()
+                    .zip(scratch.values.iter())
+                    .all(|(mv, &v)| mv.matches(v));
                 if hit {
                     let (_, prio) = self.entry_meta[idx];
                     let better = match best {
@@ -248,6 +289,10 @@ mod tests {
         Packet::with_slots(vals.to_vec())
     }
 
+    fn lk(e: &MatchEngine, t: &Table, p: &Packet) -> LookupOutcome {
+        e.lookup(t, p, &mut KeyScratch::new())
+    }
+
     fn table_with(kind: MatchKind, entries: Vec<TableEntry>) -> Table {
         let mut t = Table::new("t");
         t.keys = vec![MatchKey {
@@ -269,11 +314,11 @@ mod tests {
             ],
         );
         let e = MatchEngine::build(&t);
-        let r = e.lookup(&t, &packet(&[5]));
+        let r = lk(&e, &t, &packet(&[5]));
         assert_eq!(r.entry, Some(0));
         assert_eq!(r.action, 1);
         assert_eq!(r.probes, 1);
-        let r = e.lookup(&t, &packet(&[7]));
+        let r = lk(&e, &t, &packet(&[7]));
         assert_eq!(r.entry, None);
         assert_eq!(r.action, 0);
         assert_eq!(r.probes, 1);
@@ -303,11 +348,11 @@ mod tests {
         let e = MatchEngine::build(&t);
         assert_eq!(e.num_ways(), 2);
         // Matches both prefixes; /16 must win, probed first (1 probe).
-        let r = e.lookup(&t, &packet(&[0xABCD_1234_0000_0000]));
+        let r = lk(&e, &t, &packet(&[0xABCD_1234_0000_0000]));
         assert_eq!(r.entry, Some(1));
         assert_eq!(r.probes, 1);
         // Matches only the /8: probes the /16 way first, then the /8.
-        let r = e.lookup(&t, &packet(&[0xAB11_0000_0000_0000]));
+        let r = lk(&e, &t, &packet(&[0xAB11_0000_0000_0000]));
         assert_eq!(r.entry, Some(0));
         assert_eq!(r.probes, 2);
     }
@@ -338,12 +383,12 @@ mod tests {
         );
         let e = MatchEngine::build(&t);
         assert_eq!(e.num_ways(), 3);
-        let r = e.lookup(&t, &packet(&[0x12]));
+        let r = lk(&e, &t, &packet(&[0x12]));
         assert_eq!(r.entry, Some(1)); // priority 2 wins
         assert_eq!(r.probes, 3);
-        let r = e.lookup(&t, &packet(&[0x15]));
+        let r = lk(&e, &t, &packet(&[0x15]));
         assert_eq!(r.entry, Some(0)); // only 0xF0 mask + wildcard; prio 1 wins
-        let r = e.lookup(&t, &packet(&[0xFF]));
+        let r = lk(&e, &t, &packet(&[0xFF]));
         assert_eq!(r.entry, Some(2)); // wildcard
     }
 
@@ -357,11 +402,11 @@ mod tests {
             ],
         );
         let e = MatchEngine::build(&t);
-        let r = e.lookup(&t, &packet(&[17]));
+        let r = lk(&e, &t, &packet(&[17]));
         assert_eq!(r.entry, Some(1)); // overlap: priority 2 wins
-        let r = e.lookup(&t, &packet(&[12]));
+        let r = lk(&e, &t, &packet(&[12]));
         assert_eq!(r.entry, Some(0));
-        let r = e.lookup(&t, &packet(&[99]));
+        let r = lk(&e, &t, &packet(&[99]));
         assert_eq!(r.entry, None);
     }
 
@@ -370,7 +415,7 @@ mod tests {
         let mut t = Table::new("keyless");
         t.actions = vec![Action::nop("only")];
         let e = MatchEngine::build(&t);
-        let r = e.lookup(&t, &packet(&[1, 2, 3]));
+        let r = lk(&e, &t, &packet(&[1, 2, 3]));
         assert_eq!(r.probes, 0);
         assert_eq!(r.action, 0);
     }
@@ -398,8 +443,8 @@ mod tests {
             1,
         )];
         let e = MatchEngine::build(&t);
-        assert_eq!(e.lookup(&t, &packet(&[7, 123])).entry, Some(0));
-        assert_eq!(e.lookup(&t, &packet(&[8, 123])).entry, None);
+        assert_eq!(lk(&e, &t, &packet(&[7, 123])).entry, Some(0));
+        assert_eq!(lk(&e, &t, &packet(&[8, 123])).entry, None);
     }
 
     #[test]
@@ -428,7 +473,7 @@ mod tests {
         for _ in 0..500 {
             let p = packet(&[next() % 64]);
             let (oe, oa) = oracle_lookup(&t, &p);
-            let r = e.lookup(&t, &p);
+            let r = lk(&e, &t, &p);
             // Entry indices may differ among equal (priority, tie) pairs —
             // compare the resolved action and hit/miss status. With
             // distinct priorities this is exact.

@@ -16,9 +16,12 @@
 //! covered segment is discovered structurally.
 
 use crate::cache::{LruCache, RateLimiter};
-use crate::engine::{LookupOutcome, MatchEngine};
+use crate::compiled::{CNext, CStep, CTable, CompiledPipeline, NO_SLOT};
+use crate::engine::{KeyScratch, LookupOutcome, MatchEngine};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
+use crate::smallkey::SmallKey;
+use fxhash::{FxBuildHasher, FxHashSet};
 use pipeleon_cost::{CostParams, MatchCostModel, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{
     CacheRole, EdgeRef, IrError, NextHops, NodeId, NodeKind, Primitive, ProgramGraph, TableEntry,
@@ -105,9 +108,24 @@ impl PacketTrace {
 /// The result cached for a flow: the `(table, action)` pairs to replay.
 type CachedResult = Vec<(NodeId, usize)>;
 
+/// Which datapath executes packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The reference graph-walking interpreter, kept as the oracle the
+    /// differential suite checks the compiled path against.
+    Interpreter,
+    /// The flat, allocation-free compiled pipeline (the default). Its
+    /// reports, profiles, observations and traces are bit-identical to
+    /// the interpreter's.
+    #[default]
+    Compiled,
+}
+
 #[derive(Debug)]
 struct FlowCacheState {
-    lru: LruCache<Vec<u64>, CachedResult>,
+    /// Keyed by inline [`SmallKey`]s hashed with FxHash, queried with a
+    /// borrowed `&[u64]` — no per-lookup key allocation or clone.
+    lru: LruCache<SmallKey, CachedResult, FxBuildHasher>,
     limiter: RateLimiter,
     hits: u64,
     misses: u64,
@@ -117,8 +135,17 @@ struct FlowCacheState {
 #[derive(Debug)]
 struct PendingInsert {
     cache: NodeId,
-    key: Vec<u64>,
+    key: SmallKey,
     exit: Option<NodeId>,
+    recorded: CachedResult,
+}
+
+/// Compiled-path pending cache insert: exits are pre-resolved slots.
+#[derive(Debug)]
+struct CPending {
+    cache: NodeId,
+    key: SmallKey,
+    exit_slot: u32,
     recorded: CachedResult,
 }
 
@@ -134,7 +161,9 @@ pub struct Executor {
     graph: ProgramGraph,
     params: CostParams,
     engines: Vec<Option<MatchEngine>>,
-    caches: HashMap<NodeId, FlowCacheState>,
+    /// Flow-cache runtime state, dense by node index. Shared by both
+    /// engine modes, so cache contents survive an engine switch.
+    caches: Vec<Option<FlowCacheState>>,
     placement: Vec<Placement>,
     memory_tiers: Vec<MemoryTier>,
     /// Counters collected since the last [`Executor::take_profile`]
@@ -143,11 +172,25 @@ pub struct Executor {
     instrumented: bool,
     sample_every: u64,
     packet_seq: u64,
-    distinct: HashMap<NodeId, std::collections::HashSet<Vec<u64>>>,
+    /// Distinct match keys seen per table, dense by node index. Shared
+    /// by both engine modes.
+    distinct: Vec<Option<FxHashSet<SmallKey>>>,
     last_profile_take_s: f64,
     /// Latency histograms recorded for sampled packets since the last
     /// [`Executor::take_observations`].
     observed: ExecObservations,
+    /// Reusable key-composition buffers (zero allocations per lookup).
+    scratch: KeyScratch,
+    /// Which datapath runs packets.
+    mode: EngineMode,
+    /// Lazily built compiled program. Invalidated by deploys, placement
+    /// and memory-tier changes; entry ops recompile just the touched
+    /// node in place.
+    compiled: Option<CompiledPipeline>,
+    /// Full pipeline compiles performed (telemetry for tests/benches).
+    full_compiles: u64,
+    /// Single-node recompiles performed (telemetry for tests/benches).
+    table_recompiles: u64,
     /// Simulation clock in seconds, advanced by the NIC harness.
     pub now_s: f64,
 }
@@ -167,16 +210,21 @@ impl Executor {
         graph.validate()?;
         let mut ex = Self {
             engines: Vec::new(),
-            caches: HashMap::new(),
+            caches: Vec::new(),
             placement: Vec::new(),
             memory_tiers: Vec::new(),
             profile: RuntimeProfile::empty(),
             instrumented: false,
             sample_every: 1,
             packet_seq: 0,
-            distinct: HashMap::new(),
+            distinct: Vec::new(),
             last_profile_take_s: 0.0,
             observed: ExecObservations::new(),
+            scratch: KeyScratch::new(),
+            mode: EngineMode::default(),
+            compiled: None,
+            full_compiles: 0,
+            table_recompiles: 0,
             now_s: 0.0,
             graph,
             params,
@@ -201,6 +249,7 @@ impl Executor {
         graph.validate()?;
         self.graph = graph;
         self.profile = RuntimeProfile::empty();
+        self.compiled = None;
         self.rebuild_all();
         Ok(())
     }
@@ -225,6 +274,7 @@ impl Executor {
     /// hops pay `l_migration`.
     pub fn set_placement(&mut self, placement: Vec<Placement>) {
         self.placement = placement;
+        self.compiled = None;
     }
 
     /// Assigns tables to memory tiers (dense by node id; missing = EMEM).
@@ -232,6 +282,7 @@ impl Executor {
     /// (§6 hierarchical-memory extension).
     pub fn set_memory_tiers(&mut self, tiers: Vec<MemoryTier>) {
         self.memory_tiers = tiers;
+        self.compiled = None;
     }
 
     fn tier_scale(&self, id: NodeId) -> f64 {
@@ -259,6 +310,7 @@ impl Executor {
             reason,
         })?;
         self.rebuild_engine(node);
+        self.recompile_table(node);
         Ok(())
     }
 
@@ -280,6 +332,7 @@ impl Executor {
         }
         let e = t.entries.remove(index);
         self.rebuild_engine(node);
+        self.recompile_table(node);
         Ok(e)
     }
 
@@ -311,19 +364,23 @@ impl Executor {
         }
         self.graph.validate()?;
         self.rebuild_engine(node);
+        self.recompile_table(node);
         Ok(())
     }
 
     /// Flushes the runtime state of one flow cache (invalidation).
     pub fn flush_cache(&mut self, node: NodeId) {
-        if let Some(c) = self.caches.get_mut(&node) {
+        if let Some(Some(c)) = self.caches.get_mut(node.index()) {
             c.lru.clear();
         }
     }
 
     /// Number of live entries in a flow cache's runtime state.
     pub fn cache_len(&self, node: NodeId) -> usize {
-        self.caches.get(&node).map_or(0, |c| c.lru.len())
+        self.caches
+            .get(node.index())
+            .and_then(|c| c.as_ref())
+            .map_or(0, |c| c.lru.len())
     }
 
     /// Takes the collected (sampled) profile, resetting counters. Cache
@@ -342,20 +399,25 @@ impl Executor {
     /// would double-count flows whose packets land on several shards.
     pub(crate) fn take_profile_split(
         &mut self,
-    ) -> (
-        RuntimeProfile,
-        HashMap<NodeId, std::collections::HashSet<Vec<u64>>>,
-    ) {
+    ) -> (RuntimeProfile, HashMap<NodeId, FxHashSet<SmallKey>>) {
         let mut p = std::mem::take(&mut self.profile);
         if self.instrumented && self.sample_every > 1 {
             p.scale_counts(self.sample_every);
         }
         p.window_s = (self.now_s - self.last_profile_take_s).max(1e-9);
         self.last_profile_take_s = self.now_s;
-        let distinct = std::mem::take(&mut self.distinct);
-        for (&node, c) in &mut self.caches {
+        let mut distinct = HashMap::new();
+        for (idx, set) in std::mem::take(&mut self.distinct).into_iter().enumerate() {
+            if let Some(set) = set {
+                if !set.is_empty() {
+                    distinct.insert(NodeId(idx as u32), set);
+                }
+            }
+        }
+        for (idx, state) in self.caches.iter_mut().enumerate() {
+            let Some(c) = state else { continue };
             p.cache_stats.insert(
-                node,
+                NodeId(idx as u32),
                 pipeleon_cost::CacheStats {
                     hits: c.hits,
                     misses: c.misses,
@@ -390,6 +452,7 @@ impl Executor {
     fn rebuild_all(&mut self) {
         self.engines = vec![None; self.graph.id_bound()];
         self.caches.clear();
+        self.caches.resize_with(self.graph.id_bound(), || None);
         let ids: Vec<NodeId> = self.graph.iter_nodes().map(|n| n.id).collect();
         for id in ids {
             self.rebuild_engine(id);
@@ -400,31 +463,82 @@ impl Executor {
         if self.engines.len() < self.graph.id_bound() {
             self.engines.resize(self.graph.id_bound(), None);
         }
+        if self.caches.len() < self.graph.id_bound() {
+            self.caches.resize_with(self.graph.id_bound(), || None);
+        }
         let Some(n) = self.graph.node(id) else { return };
         if let Some(t) = n.as_table() {
             self.engines[id.index()] = Some(MatchEngine::build(t));
-            if t.cache_role == CacheRole::FlowCache && !self.caches.contains_key(&id) {
-                self.caches.insert(
-                    id,
-                    FlowCacheState {
-                        lru: LruCache::new(t.max_entries.unwrap_or(DEFAULT_CACHE_CAPACITY)),
-                        limiter: RateLimiter::new(
-                            DEFAULT_INSERTION_RATE,
-                            DEFAULT_INSERTION_RATE / 100.0,
-                        ),
-                        hits: 0,
-                        misses: 0,
-                        insertions: 0,
-                    },
-                );
+            if t.cache_role == CacheRole::FlowCache && self.caches[id.index()].is_none() {
+                self.caches[id.index()] = Some(FlowCacheState {
+                    lru: LruCache::with_default_hasher(
+                        t.max_entries.unwrap_or(DEFAULT_CACHE_CAPACITY),
+                    ),
+                    limiter: RateLimiter::new(
+                        DEFAULT_INSERTION_RATE,
+                        DEFAULT_INSERTION_RATE / 100.0,
+                    ),
+                    hits: 0,
+                    misses: 0,
+                    insertions: 0,
+                });
             }
         }
     }
 
     /// Sets a flow cache's insertion rate limit (insertions per second).
     pub fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
-        if let Some(c) = self.caches.get_mut(&node) {
+        if let Some(Some(c)) = self.caches.get_mut(node.index()) {
             c.limiter = RateLimiter::new(rate_per_s, (rate_per_s / 100.0).max(8.0));
+        }
+    }
+
+    /// Selects which datapath executes packets. Both modes share flow
+    /// cache, profile and distinct-key state, so switching mid-stream is
+    /// seamless and invisible in the collected statistics.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+    }
+
+    /// The active datapath.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// `(full pipeline compiles, single-node recompiles)` performed so
+    /// far — lets tests assert that entry churn patches the compiled
+    /// program in place instead of recompiling from scratch.
+    pub fn compile_stats(&self) -> (u64, u64) {
+        (self.full_compiles, self.table_recompiles)
+    }
+
+    fn ensure_compiled(&mut self) {
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledPipeline::build(
+                &self.graph,
+                &self.params,
+                &self.placement,
+                &self.memory_tiers,
+            ));
+            self.full_compiles += 1;
+        }
+    }
+
+    /// Patches one node of the compiled pipeline after an entry op,
+    /// falling back to full invalidation only if the node has no slot.
+    fn recompile_table(&mut self, id: NodeId) {
+        if let Some(cp) = self.compiled.as_mut() {
+            if cp.recompile_node(
+                &self.graph,
+                &self.params,
+                &self.placement,
+                &self.memory_tiers,
+                id,
+            ) {
+                self.table_recompiles += 1;
+            } else {
+                self.compiled = None;
+            }
         }
     }
 
@@ -440,6 +554,30 @@ impl Executor {
         self.run(packet, Some(trace))
     }
 
+    /// Processes a batch of packets, amortizing engine dispatch: the
+    /// compiled program is checked out once per batch instead of once
+    /// per packet. Reports are returned in input order and are identical
+    /// to processing each packet with [`Executor::process`].
+    pub fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        let mut out = Vec::with_capacity(packets.len());
+        match self.mode {
+            EngineMode::Interpreter => {
+                for p in packets.iter_mut() {
+                    out.push(self.run_interp(p, None));
+                }
+            }
+            EngineMode::Compiled => {
+                self.ensure_compiled();
+                let cp = self.compiled.take().expect("just compiled");
+                for p in packets.iter_mut() {
+                    out.push(self.run_compiled(&cp, p, None));
+                }
+                self.compiled = Some(cp);
+            }
+        }
+        out
+    }
+
     fn place(&self, id: NodeId) -> Placement {
         self.placement
             .get(id.index())
@@ -447,7 +585,27 @@ impl Executor {
             .unwrap_or(Placement::Asic)
     }
 
-    fn run(&mut self, packet: &mut Packet, mut trace: Option<&mut PacketTrace>) -> ExecReport {
+    fn run(&mut self, packet: &mut Packet, trace: Option<&mut PacketTrace>) -> ExecReport {
+        match self.mode {
+            EngineMode::Interpreter => self.run_interp(packet, trace),
+            EngineMode::Compiled => {
+                // Check the compiled program out of `self` for the walk
+                // (it is immutable while the executor's counters and
+                // caches mutate), then put it back.
+                self.ensure_compiled();
+                let cp = self.compiled.take().expect("just compiled");
+                let r = self.run_compiled(&cp, packet, trace);
+                self.compiled = Some(cp);
+                r
+            }
+        }
+    }
+
+    fn run_interp(
+        &mut self,
+        packet: &mut Packet,
+        mut trace: Option<&mut PacketTrace>,
+    ) -> ExecReport {
         self.packet_seq += 1;
         let sampled = self.instrumented && self.packet_seq.is_multiple_of(self.sample_every);
         if sampled {
@@ -599,7 +757,7 @@ impl Executor {
             let node = self.graph.node(id).expect("validated graph");
             let table = node.as_table().expect("table node");
             let engine = self.engines[id.index()].as_ref().expect("engine built");
-            let outcome = engine.lookup(table, packet);
+            let outcome = engine.lookup(table, packet, &mut self.scratch);
             // Under a Fixed match model the charged probes follow the
             // model's multiplier, not the realized way count.
             let charged = match self.params.match_model {
@@ -622,16 +780,17 @@ impl Executor {
             // Distinct-key tracking (pre-action packet state) feeds the
             // optimizer's cross-product estimate; it models control-plane
             // analytics, not a P4 counter, so it adds no data-path latency.
-            let key_vals: Vec<u64> = self
-                .graph
-                .node(id)
-                .and_then(|n| n.as_table())
-                .map(|t| t.keys.iter().map(|k| packet.get(k.field)).collect())
-                .unwrap_or_default();
-            if !key_vals.is_empty() {
-                let set = self.distinct.entry(id).or_default();
-                if set.len() < DISTINCT_TRACK_CAP {
-                    set.insert(key_vals);
+            // The key values were composed into the scratch buffer by the
+            // lookup above; `contains` runs first so repeat flows never
+            // allocate a key.
+            let vals = &self.scratch.values;
+            if !vals.is_empty() {
+                if self.distinct.len() <= id.index() {
+                    self.distinct.resize_with(id.index() + 1, || None);
+                }
+                let set = self.distinct[id.index()].get_or_insert_with(FxHashSet::default);
+                if set.len() < DISTINCT_TRACK_CAP && !set.contains(vals.as_slice()) {
+                    set.insert(SmallKey::from_slice(vals));
                 }
             }
         }
@@ -691,11 +850,12 @@ impl Executor {
 
         let cached: Option<CachedResult> = self
             .caches
-            .get_mut(&id)
-            .and_then(|c| c.lru.get(&key).cloned());
+            .get_mut(id.index())
+            .and_then(|c| c.as_mut())
+            .and_then(|c| c.lru.get(key.as_slice()).cloned());
         match cached {
             Some(result) => {
-                if let Some(c) = self.caches.get_mut(&id) {
+                if let Some(Some(c)) = self.caches.get_mut(id.index()) {
                     c.hits += 1;
                 }
                 if sampled {
@@ -737,7 +897,7 @@ impl Executor {
                 hit_target
             }
             None => {
-                if let Some(c) = self.caches.get_mut(&id) {
+                if let Some(Some(c)) = self.caches.get_mut(id.index()) {
                     c.misses += 1;
                 }
                 if sampled {
@@ -747,7 +907,7 @@ impl Executor {
                 }
                 pending.push(PendingInsert {
                     cache: id,
-                    key,
+                    key: SmallKey::from_slice(&key),
                     exit: hit_target,
                     recorded: Vec::new(),
                 });
@@ -774,12 +934,326 @@ impl Executor {
     }
 
     fn install_pending(&mut self, p: PendingInsert, report: &mut ExecReport) {
+        self.install(p.cache, p.key, p.recorded, report);
+    }
+
+    /// Installs a finalized cache result, engine-mode agnostic.
+    fn install(
+        &mut self,
+        cache: NodeId,
+        key: SmallKey,
+        recorded: CachedResult,
+        report: &mut ExecReport,
+    ) {
         let now = self.now_s;
-        if let Some(c) = self.caches.get_mut(&p.cache) {
+        if let Some(Some(c)) = self.caches.get_mut(cache.index()) {
             if c.limiter.allow(now) {
-                c.lru.insert(p.key, p.recorded);
+                c.lru.insert(key, recorded);
                 c.insertions += 1;
                 report.latency_ns += self.params.l_cache_insert;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled datapath. Mirrors `run_interp` step for step: every
+    // latency term is added in the same order with the same operand
+    // values, so reports, profiles, observations and traces are
+    // bit-identical across engine modes. The differences are purely
+    // mechanical: slot-addressed arena walk instead of `NodeId` map
+    // hops, FxHash/SmallKey lookups through reused scratch buffers, and
+    // pre-boxed action bodies executed in place — zero steady-state
+    // heap allocations per packet.
+    // ------------------------------------------------------------------
+
+    fn run_compiled(
+        &mut self,
+        cp: &CompiledPipeline,
+        packet: &mut Packet,
+        mut trace: Option<&mut PacketTrace>,
+    ) -> ExecReport {
+        self.packet_seq += 1;
+        let sampled = self.instrumented && self.packet_seq.is_multiple_of(self.sample_every);
+        if sampled {
+            self.profile.total_packets += 1;
+        }
+        let mut report = ExecReport {
+            latency_ns: self.params.l_base,
+            dropped: false,
+            migrations: 0,
+            probes: 0,
+            counter_updates: 0,
+        };
+        let mut pending: Vec<CPending> = Vec::new();
+        let mut cur: u32 = cp.root;
+        let mut prev_place: Option<Placement> = None;
+
+        while cur != NO_SLOT {
+            let slot = cur;
+            // Finalize any cache miss whose covered segment ends here
+            // (cheap emptiness gate: the common case carries no pendings).
+            if !pending.is_empty() {
+                self.finalize_pending_compiled(&mut pending, slot, &mut report);
+            }
+
+            let node = &cp.nodes[slot as usize];
+            if let Some(p) = prev_place {
+                if p != node.place {
+                    report.latency_ns += self.params.l_migration;
+                    report.migrations += 1;
+                }
+            }
+            prev_place = Some(node.place);
+            let scale = node.scale;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(self.now_s, EventKind::Visit { node: node.id.0 });
+            }
+
+            match &node.step {
+                CStep::Branch {
+                    condition,
+                    comparisons,
+                    on_true,
+                    on_false,
+                } => {
+                    let cond = condition.eval(packet.slots());
+                    report.latency_ns += self.params.l_branch * *comparisons * scale;
+                    let (edge, target) = if cond {
+                        (0u16, *on_true)
+                    } else {
+                        (1u16, *on_false)
+                    };
+                    if sampled {
+                        self.profile.record_edge(EdgeRef::new(node.id, edge), 1);
+                        report.counter_updates += 1;
+                        report.latency_ns += self.params.l_counter * scale;
+                    } else if self.instrumented {
+                        report.latency_ns += self.params.l_counter * SAMPLE_CHECK_FRACTION * scale;
+                    }
+                    cur = target;
+                }
+                CStep::Table(ct) => {
+                    let before_ns = report.latency_ns;
+                    cur = if ct.is_flow_cache {
+                        self.exec_flow_cache_compiled(
+                            cp,
+                            node.id,
+                            ct,
+                            packet,
+                            scale,
+                            sampled,
+                            &mut pending,
+                            &mut report,
+                            &mut trace,
+                        )
+                    } else {
+                        self.exec_table_compiled(
+                            node.id,
+                            ct,
+                            packet,
+                            scale,
+                            node.tier_scale,
+                            sampled,
+                            &mut pending,
+                            &mut report,
+                            &mut trace,
+                        )
+                    };
+                    if sampled {
+                        self.observed
+                            .record_table(node.id, report.latency_ns - before_ns);
+                    }
+                    if packet.dropped {
+                        report.dropped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Segment results that run to the sink (exit == NO_SLOT) or were
+        // cut short by a drop still finalize.
+        if !pending.is_empty() {
+            self.finalize_pending_compiled(&mut pending, cur, &mut report);
+        }
+        if packet.dropped {
+            let mut all = std::mem::take(&mut pending);
+            for p in all.drain(..) {
+                self.install(p.cache, p.key, p.recorded, &mut report);
+            }
+        }
+        if sampled {
+            self.observed.record_packet(report.latency_ns);
+        }
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_table_compiled(
+        &mut self,
+        id: NodeId,
+        ct: &CTable,
+        packet: &mut Packet,
+        scale: f64,
+        tier_scale: f64,
+        sampled: bool,
+        pending: &mut [CPending],
+        report: &mut ExecReport,
+        trace: &mut Option<&mut PacketTrace>,
+    ) -> u32 {
+        let outcome = ct.engine.lookup(packet, &mut self.scratch);
+        // Under a Fixed match model the charged probes follow the
+        // model's multiplier (pre-resolved), not the realized way count.
+        let charged = match ct.charged_fixed {
+            Some(f) => f,
+            None => (outcome.probes.min(ct.pattern_cap)) as f64,
+        };
+        report.probes += outcome.probes;
+        report.latency_ns += charged * self.params.l_mat * scale * tier_scale;
+        let prims: &[Primitive] = &ct.actions[outcome.action];
+        report.latency_ns += prims.len() as f64 * self.params.l_act * scale;
+
+        if self.instrumented {
+            // Same distinct-key tracking as the interpreter path; the key
+            // values sit in the scratch buffer from the lookup above.
+            let vals = &self.scratch.values;
+            if !vals.is_empty() {
+                if self.distinct.len() <= id.index() {
+                    self.distinct.resize_with(id.index() + 1, || None);
+                }
+                let set = self.distinct[id.index()].get_or_insert_with(FxHashSet::default);
+                if set.len() < DISTINCT_TRACK_CAP && !set.contains(vals.as_slice()) {
+                    set.insert(SmallKey::from_slice(vals));
+                }
+            }
+        }
+        Self::apply_primitives(packet, prims);
+
+        for p in pending.iter_mut() {
+            p.recorded.push((id, outcome.action));
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(
+                self.now_s,
+                EventKind::Action {
+                    node: id.0,
+                    action: outcome.action as u32,
+                },
+            );
+        }
+        if sampled {
+            self.profile.record_action(id, outcome.action, 1);
+            report.counter_updates += 1;
+            report.latency_ns += self.params.l_counter * scale;
+        } else if self.instrumented {
+            report.latency_ns += self.params.l_counter * SAMPLE_CHECK_FRACTION * scale;
+        }
+        match &ct.next {
+            CNext::Always(s) => *s,
+            CNext::ByAction(v) => v[outcome.action],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_flow_cache_compiled(
+        &mut self,
+        cp: &CompiledPipeline,
+        id: NodeId,
+        ct: &CTable,
+        packet: &mut Packet,
+        scale: f64,
+        sampled: bool,
+        pending: &mut Vec<CPending>,
+        report: &mut ExecReport,
+        trace: &mut Option<&mut PacketTrace>,
+    ) -> u32 {
+        // Compose the flow key into the reusable scratch buffer.
+        self.scratch.values.clear();
+        self.scratch
+            .values
+            .extend(ct.key_fields.iter().map(|&f| packet.get(f)));
+        // One exact lookup either way.
+        report.probes += 1;
+        report.latency_ns += self.params.l_mat * scale;
+
+        // Replay happens against the borrowed cached result — unlike the
+        // interpreter there is no defensive clone (the result only needs
+        // disjoint executor fields while it is alive).
+        let mut was_hit = false;
+        if let Some(Some(c)) = self.caches.get_mut(id.index()) {
+            if let Some(result) = c.lru.get(self.scratch.values.as_slice()) {
+                was_hit = true;
+                if sampled {
+                    self.profile.record_action(id, 0, 1);
+                    report.counter_updates += 1;
+                    report.latency_ns += self.params.l_counter * scale;
+                }
+                for p in pending.iter_mut() {
+                    p.recorded.extend(result.iter().copied());
+                }
+                for &(nid, aidx) in result.iter() {
+                    let rslot = cp.slot(nid);
+                    let prims: &[Primitive] = if rslot == NO_SLOT {
+                        &[]
+                    } else if let CStep::Table(t) = &cp.nodes[rslot as usize].step {
+                        &t.actions[aidx]
+                    } else {
+                        &[]
+                    };
+                    report.latency_ns += prims.len() as f64 * self.params.l_act * scale;
+                    Self::apply_primitives(packet, prims);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(
+                            self.now_s,
+                            EventKind::Action {
+                                node: nid.0,
+                                action: aidx as u32,
+                            },
+                        );
+                    }
+                    if sampled {
+                        self.profile.record_action(nid, aidx, 1);
+                        report.counter_updates += 1;
+                        report.latency_ns += self.params.l_counter * scale;
+                    }
+                }
+            }
+        }
+        if was_hit {
+            if let Some(Some(c)) = self.caches.get_mut(id.index()) {
+                c.hits += 1;
+            }
+            return ct.hit_slot;
+        }
+        if let Some(Some(c)) = self.caches.get_mut(id.index()) {
+            c.misses += 1;
+        }
+        if sampled {
+            self.profile.record_action(id, ct.default_action, 1);
+            report.counter_updates += 1;
+            report.latency_ns += self.params.l_counter * scale;
+        }
+        pending.push(CPending {
+            cache: id,
+            key: SmallKey::from_slice(&self.scratch.values),
+            exit_slot: ct.hit_slot,
+            recorded: Vec::new(),
+        });
+        ct.miss_slot
+    }
+
+    fn finalize_pending_compiled(
+        &mut self,
+        pending: &mut Vec<CPending>,
+        at: u32,
+        report: &mut ExecReport,
+    ) {
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].exit_slot == at {
+                let p = pending.remove(i);
+                self.install(p.cache, p.key, p.recorded, report);
+            } else {
+                i += 1;
             }
         }
     }

@@ -18,7 +18,13 @@
 //! * [`exec`] — the run-to-completion [`Executor`]: walks the program DAG,
 //!   executes actions for real, maintains cache state, honours placements
 //!   (ASIC vs. CPU) with migration costs, and updates P4 counters with
-//!   optional sampling.
+//!   optional sampling. Runs either a reference interpreter or a compiled
+//!   datapath ([`EngineMode`]) — a flat slot-addressed lowering of the
+//!   program with FxHash match engines and reusable scratch buffers that
+//!   executes packets with zero steady-state heap allocations, producing
+//!   bit-identical reports, profiles and traces.
+//! * [`smallkey`] — [`SmallKey`]: fixed-width inline match/cache keys
+//!   (stack-resident up to 4×`u64`) queryable by borrowed `&[u64]`.
 //! * [`nic`] — [`SmartNic`]: multicore dispatch (RSS by flow hash),
 //!   throughput/latency measurement, and the control-plane entry API
 //!   (insert/delete/modify, cache flush).
@@ -38,18 +44,21 @@
 
 pub mod backend;
 pub mod cache;
+mod compiled;
 pub mod engine;
 pub mod exec;
 pub mod nic;
 pub mod observe;
 pub mod packet;
 pub mod sharded;
+pub mod smallkey;
 
 pub use backend::NicBackend;
 pub use cache::{LruCache, RateLimiter};
-pub use engine::{LookupOutcome, MatchEngine};
-pub use exec::{ExecReport, Executor, PacketTrace};
+pub use engine::{KeyScratch, LookupOutcome, MatchEngine};
+pub use exec::{EngineMode, ExecReport, Executor, PacketTrace};
 pub use nic::{BatchStats, NicConfig, PacketRecord, SmartNic};
 pub use observe::ExecObservations;
 pub use packet::Packet;
 pub use sharded::ShardedNic;
+pub use smallkey::SmallKey;

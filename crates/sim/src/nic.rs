@@ -7,7 +7,7 @@
 //! busy time)`, capping at line rate exactly when the cores keep up — the
 //! same observable the paper's TRex measurements produce.
 
-use crate::exec::{ExecReport, Executor, PacketTrace};
+use crate::exec::{EngineMode, ExecReport, Executor, PacketTrace};
 use crate::packet::Packet;
 use pipeleon_cost::{CostParams, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NodeId, ProgramGraph, TableEntry};
@@ -18,12 +18,17 @@ pub struct NicConfig {
     /// Wire size used for throughput conversion when a packet does not
     /// carry its own (§5.1: 512 B everywhere).
     pub packet_bytes: usize,
+    /// Internal chunk granularity for batch-oriented execution
+    /// ([`SmartNic::process_batch`] and the CLI `--batch` flag). Purely a
+    /// processing granularity: results are bit-identical for any value.
+    pub batch: usize,
 }
 
 impl Default for NicConfig {
     fn default() -> Self {
         Self {
             packet_bytes: Packet::DEFAULT_BYTES,
+            batch: 32,
         }
     }
 }
@@ -275,9 +280,28 @@ impl SmartNic {
         self.exec.now_s
     }
 
+    /// Selects the packet-execution engine ([`EngineMode`]): the
+    /// reference interpreter or the compiled datapath (the default).
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.exec.set_engine_mode(mode)
+    }
+
+    /// The currently selected packet-execution engine.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.exec.engine_mode()
+    }
+
     /// Processes one packet (single-core semantics; no arrival pacing).
     pub fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
         self.exec.process(packet)
+    }
+
+    /// Processes a batch of packets in place (single-core semantics; no
+    /// arrival pacing), returning one report per packet. On the compiled
+    /// engine the pipeline is compiled once and reused across the whole
+    /// batch with zero steady-state heap allocations per packet.
+    pub fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        self.exec.process_batch(packets)
     }
 
     /// Processes one packet with a trace.

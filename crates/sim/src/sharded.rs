@@ -36,13 +36,13 @@
 //! stay under the per-shard limits.
 
 use crate::backend::NicBackend;
-use crate::exec::{ExecReport, Executor};
+use crate::exec::{EngineMode, ExecReport, Executor};
 use crate::nic::{BatchStats, NicConfig, PacketRecord};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A software SmartNIC whose datapath is sharded over `N` parallel
 /// workers by flow hash (RSS), with deterministic result merging.
@@ -199,6 +199,28 @@ impl ShardedNic {
         }
     }
 
+    /// Selects the packet-execution engine on every shard.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        for exec in &mut self.execs {
+            exec.set_engine_mode(mode);
+        }
+    }
+
+    /// The currently selected packet-execution engine (identical on every
+    /// shard; control-plane fan-out keeps them in sync).
+    pub fn engine_mode(&self) -> EngineMode {
+        self.execs[0].engine_mode()
+    }
+
+    /// Processes a batch of packets in place (no arrival pacing),
+    /// returning one report per packet in input order. Packets execute
+    /// sequentially on the shards their flows hash to, driven by the
+    /// global sequence number, so results match a single-threaded run
+    /// packet-for-packet.
+    pub fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        packets.iter_mut().map(|p| self.process_one(p)).collect()
+    }
+
     /// Processes one packet on the shard its flow hashes to (no arrival
     /// pacing). Uses the global packet sequence number, so sampling
     /// decisions match a single-threaded run packet-for-packet.
@@ -217,7 +239,7 @@ impl ShardedNic {
     /// from exact cross-shard unions of the raw key sets.
     pub fn take_profile(&mut self) -> RuntimeProfile {
         let mut merged = RuntimeProfile::empty();
-        let mut union: HashMap<NodeId, HashSet<Vec<u64>>> = HashMap::new();
+        let mut union: HashMap<NodeId, fxhash::FxHashSet<crate::SmallKey>> = HashMap::new();
         for exec in &mut self.execs {
             let (p, distinct) = exec.take_profile_split();
             merged.merge(&p);
@@ -380,8 +402,20 @@ impl NicBackend for ShardedNic {
         ShardedNic::set_instrumentation(self, enabled, sample_every)
     }
 
+    fn set_engine_mode(&mut self, mode: EngineMode) {
+        ShardedNic::set_engine_mode(self, mode)
+    }
+
+    fn engine_mode(&self) -> EngineMode {
+        ShardedNic::engine_mode(self)
+    }
+
     fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
         ShardedNic::process_one(self, packet)
+    }
+
+    fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        ShardedNic::process_batch(self, packets)
     }
 
     fn measure_batch(&mut self, packets: Vec<Packet>) -> BatchStats {

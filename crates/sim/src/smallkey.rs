@@ -1,0 +1,136 @@
+//! Fixed-width inline match keys for the per-packet hot path.
+//!
+//! Match keys, flow-cache keys and distinct-key tracking all hash short
+//! `u64` tuples on every packet. A `Vec<u64>` key heap-allocates per
+//! lookup; [`SmallKey`] stores up to [`SmallKey::INLINE_CAP`] components
+//! inline on the stack and only boxes wider keys. Because it implements
+//! `Borrow<[u64]>` (with a slice-consistent `Hash`/`Eq`), maps keyed by
+//! `SmallKey` can be queried with a borrowed `&[u64]` scratch buffer —
+//! zero allocations per lookup for any key width.
+
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+
+/// A match/cache key: inline up to 4×`u64`, boxed beyond.
+#[derive(Debug, Clone)]
+pub enum SmallKey {
+    /// Stack-resident key of at most [`SmallKey::INLINE_CAP`] components.
+    /// Components beyond `len` are zero and ignored.
+    Inline {
+        /// Number of live components.
+        len: u8,
+        /// Component storage (first `len` are live).
+        vals: [u64; SmallKey::INLINE_CAP],
+    },
+    /// Heap-resident key, used only when wider than the inline capacity —
+    /// the representation is canonical: `Heap` always holds > 4 values.
+    Heap(Box<[u64]>),
+}
+
+impl SmallKey {
+    /// Maximum number of components stored without heap allocation.
+    pub const INLINE_CAP: usize = 4;
+
+    /// Builds a key from a slice (allocates only beyond the inline cap).
+    pub fn from_slice(v: &[u64]) -> Self {
+        if v.len() <= Self::INLINE_CAP {
+            let mut vals = [0u64; Self::INLINE_CAP];
+            vals[..v.len()].copy_from_slice(v);
+            SmallKey::Inline {
+                len: v.len() as u8,
+                vals,
+            }
+        } else {
+            SmallKey::Heap(v.into())
+        }
+    }
+
+    /// The key's components.
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            SmallKey::Inline { len, vals } => &vals[..*len as usize],
+            SmallKey::Heap(b) => b,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the key has no components.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for SmallKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SmallKey {}
+
+impl Hash for SmallKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `<[u64] as Hash>::hash` exactly so `Borrow<[u64]>`
+        // lookups agree with stored keys.
+        self.as_slice().hash(state);
+    }
+}
+
+impl Borrow<[u64]> for SmallKey {
+    fn borrow(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u64]> for SmallKey {
+    fn from(v: &[u64]) -> Self {
+        Self::from_slice(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxhash::FxHashMap;
+
+    #[test]
+    fn inline_and_heap_roundtrip() {
+        for n in 0..=8usize {
+            let v: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let k = SmallKey::from_slice(&v);
+            assert_eq!(k.as_slice(), &v[..]);
+            assert_eq!(k.len(), n);
+            match &k {
+                SmallKey::Inline { .. } => assert!(n <= SmallKey::INLINE_CAP),
+                SmallKey::Heap(_) => assert!(n > SmallKey::INLINE_CAP),
+            }
+        }
+    }
+
+    #[test]
+    fn slice_borrow_lookup_agrees_with_owned_key() {
+        let mut m: FxHashMap<SmallKey, u32> = FxHashMap::default();
+        let narrow = [1u64, 2, 3];
+        let wide = [9u64, 8, 7, 6, 5, 4];
+        m.insert(SmallKey::from_slice(&narrow), 1);
+        m.insert(SmallKey::from_slice(&wide), 2);
+        assert_eq!(m.get(&narrow[..]), Some(&1));
+        assert_eq!(m.get(&wide[..]), Some(&2));
+        assert_eq!(m.get(&[1u64, 2][..]), None);
+    }
+
+    #[test]
+    fn eq_ignores_dead_inline_slots() {
+        let a = SmallKey::from_slice(&[5, 6]);
+        let b = SmallKey::Inline {
+            len: 2,
+            vals: [5, 6, 0, 0],
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, SmallKey::from_slice(&[5, 6, 0]));
+    }
+}

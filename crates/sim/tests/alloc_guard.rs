@@ -1,0 +1,216 @@
+//! Allocation-regression guard for the compiled datapath.
+//!
+//! The compiled engine's contract is *zero steady-state heap allocations
+//! per packet*: after the pipeline is compiled and caches/scratch are
+//! warm, processing a packet must not touch the allocator — not for match
+//! keys, not for masked-key scratch, not for flow-cache hits. This test
+//! installs a counting global allocator and pins that contract; any
+//! future per-packet `Vec`/`Box`/`String` sneaking into the hot path
+//! fails here with an exact allocation count.
+//!
+//! Deliberately a single `#[test]` in its own integration-test binary:
+//! the allocation counter is process-global, so concurrently running
+//! tests would pollute the measurement.
+
+use pipeleon_cost::CostParams;
+use pipeleon_ir::{
+    CacheRole, MatchKind, MatchValue, Primitive, ProgramBuilder, ProgramGraph, TableEntry,
+};
+use pipeleon_sim::{EngineMode, Executor, Packet};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f`.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Exact + LPM + multi-way ternary chain: every lookup shape the compiled
+/// engine supports. (The sim crate cannot depend on the workloads
+/// synthesizer — that would be a dependency cycle — so the program is
+/// built inline.)
+fn mixed_program() -> ProgramGraph {
+    let mut b = ProgramBuilder::new();
+    let a = b.field("a");
+    let c = b.field("c");
+    let d = b.field("d");
+    let out = b.field("out");
+    let mut exact = b
+        .table("exact")
+        .key(a, MatchKind::Exact)
+        .action("mark", vec![Primitive::set(out, 1)])
+        .action_nop("pass")
+        .default_action(1);
+    for k in 0..16u64 {
+        exact = exact.entry(TableEntry::new(vec![MatchValue::Exact(k)], 0));
+    }
+    let exact = exact.finish();
+    let mut lpm = b
+        .table("lpm")
+        .key(c, MatchKind::Lpm)
+        .action("mark", vec![Primitive::set(out, 2)])
+        .action_nop("pass")
+        .default_action(1);
+    for p in [8u8, 4, 0] {
+        lpm = lpm.entry(TableEntry::new(
+            vec![MatchValue::Lpm {
+                value: 0,
+                prefix_len: p,
+            }],
+            0,
+        ));
+    }
+    let lpm = lpm.finish();
+    let tern = b
+        .table("ternary")
+        .key(d, MatchKind::Ternary)
+        .action("mark", vec![Primitive::set(out, 3)])
+        .action_nop("pass")
+        .default_action(1)
+        .entry(TableEntry::with_priority(
+            vec![MatchValue::Ternary {
+                value: 0,
+                mask: 0x7,
+            }],
+            0,
+            2,
+        ))
+        .entry(TableEntry::with_priority(
+            vec![MatchValue::Ternary {
+                value: 1,
+                mask: 0x1,
+            }],
+            0,
+            1,
+        ))
+        .finish();
+    let _ = (lpm, tern);
+    b.seal(exact).unwrap()
+}
+
+/// Flow-cache program: cache -> [hit: sink, miss: heavy -> sink].
+fn cached_program() -> ProgramGraph {
+    let mut b = ProgramBuilder::new();
+    let x = b.field("x");
+    let y = b.field("y");
+    let heavy = b
+        .table("heavy")
+        .key(x, MatchKind::Ternary)
+        .action("mark", vec![Primitive::set(y, 1)])
+        .default_action(0)
+        .entry(TableEntry::with_priority(
+            vec![MatchValue::Ternary {
+                value: 0,
+                mask: 0xF,
+            }],
+            0,
+            1,
+        ))
+        .finish();
+    b.set_next(heavy, None);
+    let cache = b
+        .table("cache")
+        .key(x, MatchKind::Exact)
+        .action_nop("hit")
+        .action_nop("miss")
+        .default_action(1)
+        .cache_role(CacheRole::FlowCache)
+        .max_entries(64)
+        .by_action(vec![None, Some(heavy)])
+        .finish();
+    b.seal(cache).unwrap()
+}
+
+#[test]
+fn compiled_steady_state_is_allocation_free() {
+    let params = CostParams::bluefield2();
+
+    // --- Mixed match-kind chain -------------------------------------
+    let mut ex = Executor::new(mixed_program(), params.clone()).unwrap();
+    ex.set_engine_mode(EngineMode::Compiled);
+    let mut packets: Vec<Packet> = (0..256u64)
+        .map(|i| Packet::with_slots(vec![i % 32, i % 11, (i * 3) % 8, 0]))
+        .collect();
+    // Warm-up: first packet compiles the pipeline and grows scratch.
+    for p in packets.iter_mut() {
+        ex.process(p);
+    }
+    let compiled_allocs = count_allocs(|| {
+        for p in packets.iter_mut() {
+            ex.process(p);
+        }
+    });
+    assert_eq!(
+        compiled_allocs,
+        0,
+        "compiled engine allocated {compiled_allocs} times over {} steady-state packets",
+        packets.len()
+    );
+
+    // --- Flow-cache hits (probe + LRU bump + action replay) ----------
+    let mut ex = Executor::new(cached_program(), params.clone()).unwrap();
+    ex.set_engine_mode(EngineMode::Compiled);
+    let mut packets: Vec<Packet> = (0..256u64)
+        .map(|i| Packet::with_slots(vec![i % 48, 0]))
+        .collect();
+    // Warm-up installs all 48 flows (capacity 64), so the measured pass
+    // is pure hit-path: probe, replay, recency update.
+    for p in packets.iter_mut() {
+        ex.process(p);
+    }
+    let hit_allocs = count_allocs(|| {
+        for p in packets.iter_mut() {
+            ex.process(p);
+        }
+    });
+    assert_eq!(
+        hit_allocs,
+        0,
+        "flow-cache hit path allocated {hit_allocs} times over {} packets",
+        packets.len()
+    );
+
+    // Informational contrast: the interpreter on the same warmed state.
+    // (Not asserted — the guard is about the compiled engine.)
+    let mut ex = Executor::new(mixed_program(), params).unwrap();
+    ex.set_engine_mode(EngineMode::Interpreter);
+    let mut packets: Vec<Packet> = (0..256u64)
+        .map(|i| Packet::with_slots(vec![i % 32, i % 11, (i * 3) % 8, 0]))
+        .collect();
+    for p in packets.iter_mut() {
+        ex.process(p);
+    }
+    let interp_allocs = count_allocs(|| {
+        for p in packets.iter_mut() {
+            ex.process(p);
+        }
+    });
+    eprintln!("interpreter steady-state allocations over 256 packets: {interp_allocs}");
+}

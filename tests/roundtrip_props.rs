@@ -2,7 +2,7 @@
 
 use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::{MatchKey, MatchKind, MatchValue, Table, TableEntry};
-use pipeleon_sim::engine::{oracle_lookup, MatchEngine};
+use pipeleon_sim::engine::{oracle_lookup, KeyScratch, MatchEngine};
 use pipeleon_sim::Packet;
 use pipeleon_workloads::synth::{synthesize, SynthConfig};
 use proptest::prelude::*;
@@ -55,7 +55,7 @@ proptest! {
         let engine = MatchEngine::build(&t);
         for p in probes {
             let pkt = Packet::with_slots(vec![p as u64]);
-            let fast = engine.lookup(&t, &pkt);
+            let fast = engine.lookup(&t, &pkt, &mut KeyScratch::new());
             let (slow_entry, slow_action) = oracle_lookup(&t, &pkt);
             prop_assert_eq!(fast.entry, slow_entry);
             prop_assert_eq!(fast.action, slow_action);
@@ -91,7 +91,7 @@ proptest! {
         let engine = MatchEngine::build(&t);
         for p in probes {
             let pkt = Packet::with_slots(vec![(p as u64) << 48]);
-            let fast = engine.lookup(&t, &pkt);
+            let fast = engine.lookup(&t, &pkt, &mut KeyScratch::new());
             let (slow_entry, _) = oracle_lookup(&t, &pkt);
             // Entry identity may differ only among equal-prefix ties,
             // which deduping removed; so entries must agree.

@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+
+//! Offline vendored stand-in for the `fxhash` crate.
+//!
+//! Implements the FxHash function used by rustc: a non-cryptographic
+//! multiply-rotate hash over machine words. It is several times faster
+//! than the standard library's SipHash for the short fixed-width keys the
+//! simulator hashes on every packet (match keys, flow-cache keys,
+//! distinct-key sets), at the cost of no HashDoS resistance — fine for a
+//! deterministic simulator hashing its own data.
+//!
+//! API mirrors the real crate where used: [`FxHasher`], [`FxBuildHasher`],
+//! and the [`FxHashMap`] / [`FxHashSet`] aliases.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from Firefox / rustc's FxHash (64-bit golden
+/// ratio variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<V> = HashSet<V, FxBuildHasher>;
+
+/// Builds [`FxHasher`]s (stateless; every hasher starts identically, so
+/// hashes are deterministic across runs and threads).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The FxHash streaming hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hashes one value with a fresh [`FxHasher`].
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash64(&[1u64, 2, 3][..]), hash64(&[1u64, 2, 3][..]));
+        assert_ne!(hash64(&[1u64, 2, 3][..]), hash64(&[1u64, 2, 4][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<Vec<u64>> = FxHashSet::default();
+        assert!(s.insert(vec![1, 2]));
+        assert!(!s.insert(vec![1, 2]));
+    }
+
+    #[test]
+    fn write_paths_cover_remainders() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]); // non-8-multiple remainder path
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0, 0, 0, 0, 0]); // zero-padded full chunk
+        assert_eq!(a, h2.finish(), "remainder is zero-padded into one word");
+    }
+}
