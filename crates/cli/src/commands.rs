@@ -10,7 +10,7 @@ use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::ProgramGraph;
 use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
 use pipeleon_sim::{
-    BatchStats, EngineMode, ExecObservations, NicConfig, Packet, ShardedNic, SmartNic,
+    BatchStats, EngineMode, ExecObservations, NicConfig, Packet, ShardMode, ShardedNic, SmartNic,
 };
 use pipeleon_verify::{lint_program, render_report, render_report_json, LintConfig, Severity};
 use pipeleon_workloads::traffic::FlowGen;
@@ -23,7 +23,8 @@ USAGE:
            [--top-k F] [--memory BYTES] [--updates RATE] [-o out.json]
   pipeleon simulate <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--trace t.trace]
-           [--workers N] [--sample N] [--engine compiled|interp]
+           [--workers N] [--shard-mode run-loop|bit-exact]
+           [--sample N] [--engine compiled|interp]
            [--batch N] [--profile-out p.json]
            [--metrics-out m.prom|m.json] [--journal-out j.jsonl]
            [--chaos-seed S [--windows N]]
@@ -315,6 +316,16 @@ fn engine_mode(args: &Args) -> Result<EngineMode, String> {
     }
 }
 
+/// Parses `--shard-mode run-loop|bit-exact` (run-loop is the default
+/// when the sharded datapath is used).
+fn shard_mode(args: &Args) -> Result<ShardMode, String> {
+    match args.get("shard-mode") {
+        None => Ok(ShardMode::default()),
+        Some(s) => ShardMode::parse(s)
+            .ok_or_else(|| format!("unknown --shard-mode {s:?} (run-loop | bit-exact)")),
+    }
+}
+
 fn simulate(args: &Args) -> Result<(), String> {
     let params = target(args)?;
     let g = load_program(args)?;
@@ -323,8 +334,12 @@ fn simulate(args: &Args) -> Result<(), String> {
     let workers = args.get_usize("workers", 1)?;
     let sample = args.get_usize("sample", 1)?.max(1) as u64;
     let engine = engine_mode(args)?;
+    // An explicit --shard-mode opts into the sharded datapath even at
+    // --workers 1 (useful for differential runs against a single worker).
+    let sharded = workers > 1 || args.get("shard-mode").is_some();
     let config = NicConfig {
         batch: args.get_usize("batch", 32)?.max(1),
+        shard_mode: shard_mode(args)?,
         ..NicConfig::default()
     };
     let batch = gen_batch(args, &g, packets)?;
@@ -336,7 +351,7 @@ fn simulate(args: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --chaos-seed {s:?} (expected u64)"))?;
         let windows = args.get_usize("windows", 5)?;
-        return if workers > 1 {
+        return if sharded {
             let mut nic = ShardedNic::new(g.clone(), params, workers)
                 .map_err(|e| e.to_string())?
                 .with_config(config);
@@ -350,10 +365,11 @@ fn simulate(args: &Args) -> Result<(), String> {
             chaos_simulate(args, nic, chaos_seed, windows, batch)
         };
     }
-    // The sharded datapath merges results deterministically, so any
-    // worker count reports bit-identical statistics; >1 exercises the
-    // parallel path (and finishes sooner on big batches).
-    let (stats, profile, obs, elapsed_s) = if workers > 1 {
+    // The sharded datapath merges results at window boundaries: integer
+    // statistics, profiles, and histograms are worker-count-invariant in
+    // both shard modes (bit-exact mode additionally replays the global
+    // arrival schedule for bit-identical float aggregates).
+    let (stats, profile, obs, elapsed_s) = if sharded {
         let mut nic = ShardedNic::new(g.clone(), params, workers)
             .map_err(|e| e.to_string())?
             .with_config(config);
@@ -796,6 +812,48 @@ mod tests {
             std::fs::read_to_string(&sharded).unwrap(),
             "sharded profile must be byte-identical to single-threaded"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_shard_mode_run_loop_is_worker_count_invariant() {
+        // The SHARD_SMOKE invariant: run-loop window-merged profiles are
+        // bit-identical across worker counts, even with sampling on.
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test12_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let one = dir.join("w1.json");
+        let two = dir.join("w2.json");
+        for (workers, out) in [("1", &one), ("2", &two)] {
+            run(&v(&[
+                "simulate",
+                prog.to_str().unwrap(),
+                "--packets",
+                "3000",
+                "--sample",
+                "4",
+                "--shard-mode",
+                "run-loop",
+                "--workers",
+                workers,
+                "--profile-out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read_to_string(&one).unwrap(),
+            std::fs::read_to_string(&two).unwrap(),
+            "run-loop profile must be byte-identical across worker counts"
+        );
+        let err = run(&v(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--shard-mode",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--shard-mode"), "unexpected error: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,7 +7,7 @@
 //! `SimTarget` can be backed by either interchangeably.
 
 use crate::exec::{EngineMode, ExecReport};
-use crate::nic::BatchStats;
+use crate::nic::{BatchStats, ShardMode};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::SmartNic;
@@ -64,6 +64,13 @@ pub trait NicBackend {
 
     /// The currently selected packet-execution engine.
     fn engine_mode(&self) -> EngineMode;
+
+    /// The worker-coordination mode of the datapath. Single-threaded
+    /// backends are trivially bit-exact; sharded backends report how
+    /// their workers coordinate ([`ShardMode`]).
+    fn shard_mode(&self) -> ShardMode {
+        ShardMode::BitExact
+    }
 
     /// Processes one packet (no arrival pacing).
     fn process_one(&mut self, packet: &mut Packet) -> ExecReport;

@@ -21,7 +21,7 @@ use crate::engine::{KeyScratch, LookupOutcome, MatchEngine};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::smallkey::SmallKey;
-use fxhash::{FxBuildHasher, FxHashSet};
+use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 use pipeleon_cost::{CostParams, MatchCostModel, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{
     CacheRole, EdgeRef, IrError, NextHops, NodeId, NodeKind, Primitive, ProgramGraph, TableEntry,
@@ -121,6 +121,44 @@ pub enum EngineMode {
     Compiled,
 }
 
+/// How the 1-in-`sample_every` counter-sampling decision is keyed.
+///
+/// Sampling picks which packets update P4 counters and latency
+/// histograms (§5.4.1). The *keying* decides whether that choice depends
+/// on global arrival order or only on per-flow order:
+///
+/// - [`GlobalSeq`](SampleKeying::GlobalSeq) reproduces the classic
+///   single-threaded schedule (`packet_seq % sample_every`), which is
+///   only partition-invariant if every shard is fed the packet's global
+///   arrival index — the barrier the run-loop datapath removes.
+/// - [`FlowKeyed`](SampleKeying::FlowKeyed) hashes `(flow_hash,
+///   per-flow packet count)` through a splitmix64-style mixer. Since RSS
+///   pins a flow to one shard and rings preserve per-flow order, the
+///   k-th packet of a flow is the same packet on any worker count, so
+///   the *set* of sampled packets — and therefore every sampled counter
+///   and histogram — is identical for 1, 2, or N workers without any
+///   shared arrival index. Costs one `FxHashMap` entry per live flow
+///   while instrumentation is on with `sample_every > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleKeying {
+    /// Global packet-sequence sampling (single-threaded schedule).
+    #[default]
+    GlobalSeq,
+    /// Per-flow deterministic sampling (partition-invariant).
+    FlowKeyed,
+}
+
+/// splitmix64-style finalizer over a flow hash and that flow's packet
+/// count; uniform enough that `mix(..) % sample_every == 0` samples one
+/// in `sample_every` packets of every flow.
+#[inline]
+fn mix_flow_seq(flow_hash: u64, count: u64) -> u64 {
+    let mut z = flow_hash ^ count.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[derive(Debug)]
 struct FlowCacheState {
     /// Keyed by inline [`SmallKey`]s hashed with FxHash, queried with a
@@ -172,6 +210,11 @@ pub struct Executor {
     instrumented: bool,
     sample_every: u64,
     packet_seq: u64,
+    /// How sampling decisions are keyed (global sequence vs per-flow).
+    keying: SampleKeying,
+    /// Per-flow packet counts for [`SampleKeying::FlowKeyed`]; touched
+    /// only when instrumented with `sample_every > 1`.
+    flow_seq: FxHashMap<u64, u64>,
     /// Distinct match keys seen per table, dense by node index. Shared
     /// by both engine modes.
     distinct: Vec<Option<FxHashSet<SmallKey>>>,
@@ -217,6 +260,8 @@ impl Executor {
             instrumented: false,
             sample_every: 1,
             packet_seq: 0,
+            keying: SampleKeying::default(),
+            flow_seq: FxHashMap::default(),
             distinct: Vec::new(),
             last_profile_take_s: 0.0,
             observed: ExecObservations::new(),
@@ -267,6 +312,44 @@ impl Executor {
     /// identical to a single-threaded run, regardless of worker count.
     pub fn set_packet_seq(&mut self, seq: u64) {
         self.packet_seq = seq;
+    }
+
+    /// Selects how counter-sampling decisions are keyed (see
+    /// [`SampleKeying`]). Switching resets the per-flow counts so both
+    /// keyings start from a clean schedule.
+    pub fn set_sample_keying(&mut self, keying: SampleKeying) {
+        if self.keying != keying {
+            self.keying = keying;
+            self.flow_seq.clear();
+        }
+    }
+
+    /// The active sampling keying.
+    pub fn sample_keying(&self) -> SampleKeying {
+        self.keying
+    }
+
+    /// The per-packet sampling decision: advances the packet sequence
+    /// (and, when flow-keyed, the packet's flow count) and reports
+    /// whether this packet updates counters and histograms.
+    #[inline]
+    fn sample_decision(&mut self, packet: &Packet) -> bool {
+        self.packet_seq += 1;
+        if !self.instrumented {
+            return false;
+        }
+        if self.sample_every <= 1 {
+            return true;
+        }
+        match self.keying {
+            SampleKeying::GlobalSeq => self.packet_seq.is_multiple_of(self.sample_every),
+            SampleKeying::FlowKeyed => {
+                let hash = packet.flow_hash();
+                let count = self.flow_seq.entry(hash).or_insert(0);
+                *count += 1;
+                mix_flow_seq(hash, *count).is_multiple_of(self.sample_every)
+            }
+        }
     }
 
     /// Assigns nodes to ASIC/CPU cores (dense by node id; missing =
@@ -606,8 +689,7 @@ impl Executor {
         packet: &mut Packet,
         mut trace: Option<&mut PacketTrace>,
     ) -> ExecReport {
-        self.packet_seq += 1;
-        let sampled = self.instrumented && self.packet_seq.is_multiple_of(self.sample_every);
+        let sampled = self.sample_decision(packet);
         if sampled {
             self.profile.total_packets += 1;
         }
@@ -972,8 +1054,7 @@ impl Executor {
         packet: &mut Packet,
         mut trace: Option<&mut PacketTrace>,
     ) -> ExecReport {
-        self.packet_seq += 1;
-        let sampled = self.instrumented && self.packet_seq.is_multiple_of(self.sample_every);
+        let sampled = self.sample_decision(packet);
         if sampled {
             self.profile.total_packets += 1;
         }

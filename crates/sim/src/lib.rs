@@ -31,16 +31,26 @@
 //! * [`observe`] — [`ExecObservations`]: mergeable latency histograms
 //!   (end-to-end and per-table) recorded for sampled packets, built on
 //!   `pipeleon-obs`.
+//! * [`ring`] — fixed-capacity SPSC rings (cache-line-padded Lamport
+//!   queues with burst enqueue/dequeue), the dispatcher→worker hand-off
+//!   of the run-loop sharded datapath.
 //! * [`sharded`] — [`ShardedNic`]: the same datapath sharded over `N`
 //!   parallel worker threads by flow hash, with deterministic merging of
-//!   per-shard profiles and batch statistics.
+//!   per-shard profiles and batch statistics deferred to profile-window
+//!   boundaries.
 //! * [`backend`] — [`NicBackend`], the datapath trait both NICs
 //!   implement, so runtime targets can be backed by either.
 //!
-//! Everything is seeded and deterministic — results are bit-reproducible,
-//! including across worker counts: a [`ShardedNic`] merges shard results
-//! in global arrival order, so its output is bit-identical to a
-//! single-threaded [`SmartNic`] run on the same traffic.
+//! Everything is seeded and deterministic — results are bit-reproducible.
+//! A [`ShardedNic`] runs in one of two [`ShardMode`]s: `BitExact`
+//! replays the global arrival schedule (barrier + sort per batch), so
+//! its output is bit-identical to a single-threaded [`SmartNic`] run on
+//! the same traffic for any worker count; `RunLoop` (the default) feeds
+//! persistent workers through SPSC rings and preserves forwarding
+//! decisions, per-flow order, integer statistics, the exact p99, and —
+//! via flow-keyed sampling ([`SampleKeying`]) — worker-count-invariant
+//! window-merged profiles and histograms, relaxing only the float
+//! summation order of mean latency and throughput.
 
 pub mod backend;
 pub mod cache;
@@ -50,14 +60,15 @@ pub mod exec;
 pub mod nic;
 pub mod observe;
 pub mod packet;
+pub mod ring;
 pub mod sharded;
 pub mod smallkey;
 
 pub use backend::NicBackend;
 pub use cache::{LruCache, RateLimiter};
 pub use engine::{KeyScratch, LookupOutcome, MatchEngine};
-pub use exec::{EngineMode, ExecReport, Executor, PacketTrace};
-pub use nic::{BatchStats, NicConfig, PacketRecord, SmartNic};
+pub use exec::{EngineMode, ExecReport, Executor, PacketTrace, SampleKeying};
+pub use nic::{BatchStats, NicConfig, PacketRecord, ShardMode, SmartNic};
 pub use observe::ExecObservations;
 pub use packet::Packet;
 pub use sharded::ShardedNic;

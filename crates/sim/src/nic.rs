@@ -7,10 +7,51 @@
 //! busy time)`, capping at line rate exactly when the cores keep up — the
 //! same observable the paper's TRex measurements produce.
 
-use crate::exec::{EngineMode, ExecReport, Executor, PacketTrace};
+use crate::exec::{EngineMode, ExecReport, Executor, PacketTrace, SampleKeying};
 use crate::packet::Packet;
 use pipeleon_cost::{CostParams, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NodeId, ProgramGraph, TableEntry};
+
+/// How the sharded datapath ([`ShardedNic`](crate::ShardedNic))
+/// coordinates its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Fork-join per batch with a global arrival-order barrier: every
+    /// packet is stamped with its global arrival index, and per-packet
+    /// records are re-sorted into arrival order before reduction, so
+    /// results are bit-identical to a single-threaded
+    /// [`SmartNic`] for any worker count. Kept as the
+    /// differential oracle for [`ShardMode::RunLoop`].
+    BitExact,
+    /// Persistent per-worker run loops fed by SPSC rings (the default):
+    /// no global arrival stamping, no cross-shard sort, merge deferred
+    /// to window boundaries. Forwarding decisions, per-flow order, and
+    /// every integer statistic match `BitExact` exactly; float
+    /// aggregates may differ in the last bits because summation order is
+    /// per-shard. See the `sharded` module docs for the full invariant
+    /// set.
+    #[default]
+    RunLoop,
+}
+
+impl ShardMode {
+    /// CLI-facing name (`--shard-mode` value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardMode::BitExact => "bit-exact",
+            ShardMode::RunLoop => "run-loop",
+        }
+    }
+
+    /// Parses a CLI `--shard-mode` value.
+    pub fn parse(s: &str) -> Option<ShardMode> {
+        match s {
+            "bit-exact" | "bitexact" | "barrier" => Some(ShardMode::BitExact),
+            "run-loop" | "runloop" => Some(ShardMode::RunLoop),
+            _ => None,
+        }
+    }
+}
 
 /// Measurement configuration.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +63,9 @@ pub struct NicConfig {
     /// ([`SmartNic::process_batch`] and the CLI `--batch` flag). Purely a
     /// processing granularity: results are bit-identical for any value.
     pub batch: usize,
+    /// Worker coordination for the sharded datapath; ignored by the
+    /// single-threaded [`SmartNic`].
+    pub shard_mode: ShardMode,
 }
 
 impl Default for NicConfig {
@@ -29,6 +73,7 @@ impl Default for NicConfig {
         Self {
             packet_bytes: Packet::DEFAULT_BYTES,
             batch: 32,
+            shard_mode: ShardMode::default(),
         }
     }
 }
@@ -252,6 +297,14 @@ impl SmartNic {
     /// Enables counter instrumentation with `sample_every` packet sampling.
     pub fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
         self.exec.set_instrumentation(enabled, sample_every)
+    }
+
+    /// Selects how sampling decisions are keyed (see [`SampleKeying`]).
+    /// [`SampleKeying::FlowKeyed`] makes this NIC the single-threaded
+    /// reference for the run-loop sharded datapath's sampled counters
+    /// and histograms.
+    pub fn set_sample_keying(&mut self, keying: SampleKeying) {
+        self.exec.set_sample_keying(keying)
     }
 
     /// Sets node placements for heterogeneous execution.

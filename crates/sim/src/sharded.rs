@@ -1,56 +1,390 @@
 //! The sharded multi-worker datapath.
 //!
 //! [`ShardedNic`] RSS-hashes packets by flow key onto `N` worker shards,
-//! each owning a private [`Executor`] clone with its own runtime-profile
-//! shard. Batches execute in parallel under `std::thread::scope`, and the
-//! merge back to a single [`RuntimeProfile`] / [`BatchStats`] is
-//! deterministic: results are bit-identical to a single-threaded
-//! [`SmartNic`](crate::SmartNic) run, regardless of worker count.
+//! each owning a private [`Executor`] with its own runtime-profile shard,
+//! and merges per-shard profiles/observations back into one
+//! [`RuntimeProfile`] / [`ExecObservations`] at profile-window boundaries
+//! (`take_profile` / `take_observations`). Two worker-coordination modes
+//! exist ([`ShardMode`]):
 //!
-//! Three mechanisms make the merge exact:
+//! # `ShardMode::RunLoop` (default)
 //!
-//! 1. **Global arrival indices.** Before a worker executes a packet it
-//!    sets the shard executor's clock to the packet's *global* arrival
-//!    time (`batch_start + gidx / line_pps`) and its packet sequence
-//!    number to the global index, so the `packet_seq % sample_every`
-//!    counter-sampling decision and every rate-limiter check match the
-//!    single-threaded schedule.
-//! 2. **A shared reducer.** Workers return [`PacketRecord`]s; the parent
-//!    sorts them by global index and feeds them through the exact
-//!    [`BatchStats::from_records`] reducer `SmartNic::measure` uses, so
-//!    float accumulation order is identical.
-//! 3. **Mergeable profiles.** `take_profile` folds shard profiles with
-//!    [`RuntimeProfile::merge`] (counters sum per key) and then overwrites
-//!    the distinct-key estimates with exact cross-shard unions.
+//! Persistent worker threads, spawned once at construction, each spinning
+//! a DPDK-style run loop: burst-dequeue packets from a private SPSC ring
+//! ([`crate::ring`]), execute them, accumulate shard-local aggregates,
+//! park when idle. The dispatcher hashes packets onto rings and never
+//! waits mid-batch: it is *work-conserving* — when a ring fills, or at
+//! end-of-batch drain, the dispatcher executes bursts itself through the
+//! same shard-locked path the workers use instead of blocking on them.
+//! There is no global arrival stamping, no cross-shard record sort, and
+//! no per-batch thread spawn — the three serialization points that made
+//! the fork-join mode *slower* at higher worker counts — and on a
+//! single-CPU host a batch drains with zero context switches.
+//!
+//! What RunLoop **preserves** exactly (asserted by
+//! `tests/runloop_differential.rs` against the `BitExact` oracle):
+//!
+//! - **Forwarding decisions and packet mutations.** A flow lives on
+//!   exactly one shard and rings are FIFO, so the k-th packet of a flow
+//!   sees the same table/cache state as in a single-threaded run.
+//! - **Per-flow packet order.** Same argument.
+//! - **Integer batch statistics** (packet/drop/migration/counter-update
+//!   counts) and the **p99 latency** (reduced from the exact merged
+//!   latency multiset, which is partition-invariant).
+//! - **Sampled counters and histograms, for any worker count.** Sampling
+//!   is keyed per flow ([`SampleKeying::FlowKeyed`]): the decision for a
+//!   packet depends only on `(flow_hash, per-flow index)`, both
+//!   partition-invariant, so profiles and latency histograms merged at a
+//!   window boundary are bit-identical across worker counts (the
+//!   single-threaded reference is a [`SmartNic`](crate::SmartNic) with
+//!   flow-keyed sampling). With `sample_every == 1` every packet is
+//!   sampled and profiles also match the classic global-sequence
+//!   schedule bit-for-bit.
+//!
+//! What RunLoop **relaxes**:
+//!
+//! - **Global arrival interleaving.** Floating-point aggregates whose
+//!   value depends on summation order — mean latency, core busy time and
+//!   hence throughput — are accumulated per shard and summed in shard
+//!   order, so they can differ from the single-threaded result in the
+//!   last ULPs (they are still deterministic for a fixed worker count).
+//! - **Arrival-clock pacing is shard-local.** A shard paces its
+//!   executor clock by its own packet index, so time-dependent runtime
+//!   state (cache insertion rate limiters) sees per-shard schedules.
+//!
+//! # `ShardMode::BitExact`
+//!
+//! The previous fork-join-per-batch engine, kept as the differential
+//! oracle. Every packet is stamped with its *global* arrival index
+//! (clock and sampling sequence), per-packet [`PacketRecord`]s are
+//! re-sorted into global arrival order, and the exact
+//! [`BatchStats::from_records`] reducer replays the single-threaded
+//! float-accumulation order — results are bit-identical to
+//! [`SmartNic`](crate::SmartNic) for any worker count, at the cost of a
+//! full sort + barrier per batch.
 //!
 //! Control-plane operations (`insert_entry`, `remove_entry`,
 //! `replace_table`, `deploy`, cache management) fan out to every shard so
-//! all workers always run the same program.
+//! all workers always run the same program. They run strictly between
+//! batches (rings are always drained before a public call returns), so
+//! they are never concurrent with packet execution.
 //!
-//! Caveat: flow-cache *runtime state* is shard-local. Each shard has its
-//! own LRU of the configured capacity and its own insertion rate limiter,
-//! so under eviction or rate-limit pressure a sharded run can diverge
-//! from a single-threaded one (more aggregate capacity, more aggregate
-//! insertion budget). Equivalence holds exactly for programs without flow
-//! caches, and for cached programs whose working set and insertion rate
-//! stay under the per-shard limits.
+//! Caveat (both modes): flow-cache *runtime state* is shard-local. Each
+//! shard has its own LRU of the configured capacity and its own insertion
+//! rate limiter, so under eviction or rate-limit pressure a sharded run
+//! can diverge from a single-threaded one (more aggregate capacity, more
+//! aggregate insertion budget). Equivalence holds exactly for programs
+//! without flow caches, and for cached programs whose working set and
+//! insertion rate stay under the per-shard limits.
 
 use crate::backend::NicBackend;
-use crate::exec::{EngineMode, ExecReport, Executor};
-use crate::nic::{BatchStats, NicConfig, PacketRecord};
+use crate::exec::{EngineMode, ExecReport, Executor, SampleKeying};
+use crate::nic::{BatchStats, NicConfig, PacketRecord, ShardMode};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
+use crate::ring;
 use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+
+/// Total in-flight ring slots across all shards. Per-shard capacity is
+/// this divided by the worker count (clamped to
+/// [`RING_CAPACITY_MIN`]..=[`RING_CAPACITY_MAX`]): a dispatcher can keep
+/// well ahead of the workers before hitting backpressure, but the
+/// aggregate in-flight window stays bounded so staged items are still
+/// cache-warm when their worker dequeues them — with per-shard capacity
+/// fixed instead, high worker counts would stage entire batches cold.
+const RING_TOTAL_SLOTS: usize = 4096;
+const RING_CAPACITY_MIN: usize = 512;
+const RING_CAPACITY_MAX: usize = 8192;
+/// Maximum items a worker dequeues (and processes under one lock
+/// acquisition) per run-loop iteration.
+const BURST: usize = 512;
+/// Idle spins before a worker parks.
+const SPIN_BUDGET: u32 = 64;
+/// How many packets ahead a drain loop prefetches slot storage.
+const PREFETCH_AHEAD: usize = 8;
+/// Items the dispatcher stages per shard before bursting them into the
+/// shard's ring (the DPDK tx-burst idiom). Staging through a tiny,
+/// constantly reused buffer keeps the dispatcher's write target hot and
+/// turns ring-slot writes into sequential runs: pushing items one at a
+/// time round-robin across many rings makes every slot write a stray
+/// access to a different buffer, which defeats the hardware prefetcher
+/// once the ring count grows.
+const STAGE_BURST: usize = 64;
+
+/// One unit of work travelling through a shard ring.
+#[derive(Debug)]
+struct WorkItem {
+    /// Position in the caller's input slice (`process_batch` scatter);
+    /// unused by measurement batches.
+    idx: u32,
+    pkt: Packet,
+}
+
+/// What the worker does with each packet of the current batch.
+#[derive(Debug, Clone, Copy)]
+enum BatchCtx {
+    /// `process_batch`: execute with the executor clock as set by the
+    /// dispatcher and keep `(idx, packet, report)` for scatter-back.
+    Forward,
+    /// `measure`: shard-local arrival pacing plus statistic aggregation.
+    Measure {
+        batch_start_s: f64,
+        line_pps: f64,
+        cores: usize,
+        default_bytes: usize,
+    },
+}
+
+/// Shard-local batch aggregates, merged deterministically (in shard
+/// order) after the batch drains.
+#[derive(Debug, Default)]
+struct BatchAgg {
+    dropped: u64,
+    migrations: u64,
+    counter_updates: u64,
+    bits: f64,
+    lat_sum: f64,
+    core_busy_ns: Vec<f64>,
+    latencies: Vec<f64>,
+}
+
+impl BatchAgg {
+    fn reset(&mut self) {
+        self.dropped = 0;
+        self.migrations = 0;
+        self.counter_updates = 0;
+        self.bits = 0.0;
+        self.lat_sum = 0.0;
+        self.core_busy_ns.clear();
+        self.latencies.clear();
+    }
+}
+
+/// Everything the consumer side of a shard mutates, behind the shard
+/// mutex: the executor state *and* the ring consumer handle. Keeping the
+/// consumer inside the mutex makes the datapath *work-conserving*: a
+/// burst is dequeued and executed by whoever holds the lock — normally
+/// the shard's worker thread, but also the dispatcher when it would
+/// otherwise wait (ring-full backpressure, end-of-batch drain). The ring
+/// stays single-producer (only the dispatcher pushes) and
+/// single-consumer-at-a-time (the mutex serializes the consumer handle,
+/// and its lock/unlock edges order the cursor state between alternating
+/// drainers).
+#[derive(Debug)]
+struct ShardState {
+    exec: Executor,
+    ctx: BatchCtx,
+    agg: BatchAgg,
+    /// `process_batch` results awaiting scatter-back.
+    out: Vec<(u32, Packet, ExecReport)>,
+    /// Packet index within the current measurement batch (shard-local
+    /// arrival pacing).
+    local_idx: u64,
+    /// Consumer side of the shard's SPSC ring; `Some` iff run-loop
+    /// workers are live.
+    rx: Option<ring::Consumer<WorkItem>>,
+}
+
+impl ShardState {
+    fn run_item(&mut self, item: &mut WorkItem) {
+        match self.ctx {
+            BatchCtx::Forward => {
+                let r = self.exec.process(&mut item.pkt);
+                let pkt = std::mem::replace(&mut item.pkt, Packet::with_slots(Vec::new()));
+                self.out.push((item.idx, pkt, r));
+            }
+            BatchCtx::Measure {
+                batch_start_s,
+                line_pps,
+                cores,
+                default_bytes,
+            } => {
+                self.exec.now_s = batch_start_s + self.local_idx as f64 / line_pps;
+                self.local_idx += 1;
+                let core = (item.pkt.flow_hash() % cores as u64) as usize;
+                let bytes = if item.pkt.bytes > 0 {
+                    item.pkt.bytes
+                } else {
+                    default_bytes
+                };
+                let r = self.exec.process(&mut item.pkt);
+                let agg = &mut self.agg;
+                if agg.core_busy_ns.len() < cores {
+                    agg.core_busy_ns.resize(cores, 0.0);
+                }
+                agg.core_busy_ns[core] += r.latency_ns;
+                agg.latencies.push(r.latency_ns);
+                agg.lat_sum += r.latency_ns;
+                agg.bits += (bytes * 8) as f64;
+                if r.dropped {
+                    agg.dropped += 1;
+                }
+                agg.migrations += r.migrations as u64;
+                agg.counter_updates += r.counter_updates as u64;
+            }
+        }
+    }
+}
+
+/// One shard: state behind a mutex plus the idle-detection counters.
+#[derive(Debug)]
+struct ShardCell {
+    state: Mutex<ShardState>,
+    /// Items fully processed by the worker (monotone total). The
+    /// dispatcher compares it against its own enqueue count to detect
+    /// batch drain.
+    processed: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// Dispatcher-side scratch for the window-boundary merge, reused across
+/// measurement batches so the merge path is allocation-free in steady
+/// state (see `measure_runloop`).
+#[derive(Debug, Default)]
+struct MergeScratch {
+    core_busy_ns: Vec<f64>,
+    latencies: Vec<f64>,
+}
+
+/// Live run-loop worker machinery (present iff mode is `RunLoop`).
+#[derive(Debug)]
+struct RunLoopWorkers {
+    producers: Vec<ring::Producer<WorkItem>>,
+    /// Unpark handles, index-aligned with `producers`.
+    threads: Vec<Thread>,
+    joins: Vec<JoinHandle<()>>,
+    /// Whether to wake workers mid-dispatch so they overlap with the
+    /// arriving batch. Pure scheduler churn on a single-CPU host (the
+    /// worker can only run by preempting the dispatcher, and the
+    /// work-conserving dispatcher drains every ring itself anyway), so
+    /// it is enabled only when real parallelism exists.
+    wake_during_dispatch: bool,
+}
+
+/// Dequeues and executes everything currently in `cell`'s ring, one
+/// [`BURST`] at a time, under a single shard-lock hold, crediting
+/// `processed`. Returns how many items ran (0 when the ring is empty or
+/// the workers are torn down). Called by the shard's worker thread *and*
+/// by the dispatcher when it helps out; `buf` is the caller's reusable
+/// burst buffer. Draining to empty per lock acquisition matters at high
+/// worker counts: every acquisition switches the executing thread onto a
+/// different shard's executor state, so fewer, larger drains keep that
+/// state hot longer.
+/// Moves every staged item into the shard's ring, helping drain on
+/// ring-full backpressure, and returns how many were moved. `stage` is
+/// empty on return. (`STAGE_BURST` never exceeds ring capacity, and the
+/// help drain empties the ring, so the loop always terminates.)
+fn flush_stage(
+    producer: &mut ring::Producer<WorkItem>,
+    cell: &ShardCell,
+    stage: &mut Vec<WorkItem>,
+    help: &mut Vec<WorkItem>,
+) -> u64 {
+    let n = stage.len() as u64;
+    let mut it = stage.drain(..);
+    while it.len() > 0 {
+        if producer.push_burst(&mut it) == 0 {
+            drain_burst(cell, help);
+        }
+    }
+    n
+}
+
+fn drain_burst(cell: &ShardCell, buf: &mut Vec<WorkItem>) -> usize {
+    let mut st = cell.state.lock().expect("shard state poisoned");
+    let mut total = 0usize;
+    loop {
+        let n = match st.rx.as_mut() {
+            Some(rx) => rx.pop_burst(buf, BURST),
+            None => 0,
+        };
+        if n == 0 {
+            break;
+        }
+        for i in 0..buf.len() {
+            // A shard's burst is every w-th packet of the arrival
+            // stream, so the slot storage walk is strided; tell the
+            // cache about it a few packets ahead.
+            if let Some(ahead) = buf.get(i + PREFETCH_AHEAD) {
+                ahead.pkt.prefetch();
+            }
+            st.run_item(&mut buf[i]);
+        }
+        buf.clear();
+        total += n;
+    }
+    if total > 0 {
+        cell.processed.fetch_add(total as u64, Ordering::Release);
+    }
+    total
+}
+
+fn worker_loop(cell: Arc<ShardCell>) {
+    let mut burst: Vec<WorkItem> = Vec::with_capacity(BURST);
+    let mut spins: u32 = 0;
+    loop {
+        if drain_burst(&cell, &mut burst) == 0 {
+            if cell.stop.load(Ordering::Acquire) {
+                // Fresh look at the ring *after* observing stop: items
+                // enqueued before the flag must still drain. (The
+                // drain_burst above re-read the cursors under the lock,
+                // so an empty result here really means drained.)
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_BUDGET {
+                std::hint::spin_loop();
+            } else {
+                // Plain park is safe: every enqueue path unparks after
+                // its Release store, and `unpark` tokens make that
+                // wakeup stick even if we were not parked yet. The
+                // teardown path also unparks after setting `stop`, and
+                // the work-conserving dispatcher never depends on this
+                // thread making progress.
+                thread::park();
+                spins = 0;
+            }
+            continue;
+        }
+        spins = 0;
+    }
+}
+
+fn keying_for(mode: ShardMode) -> SampleKeying {
+    match mode {
+        ShardMode::BitExact => SampleKeying::GlobalSeq,
+        ShardMode::RunLoop => SampleKeying::FlowKeyed,
+    }
+}
 
 /// A software SmartNIC whose datapath is sharded over `N` parallel
-/// workers by flow hash (RSS), with deterministic result merging.
+/// workers by flow hash (RSS). See the module docs for the two
+/// coordination modes and their determinism guarantees.
 #[derive(Debug)]
 pub struct ShardedNic {
-    execs: Vec<Executor>,
+    shards: Vec<Arc<ShardCell>>,
+    /// Control replica: receives every control-plane op but no packets,
+    /// so `graph()` / `params()` can be served without locking a shard.
+    control: Executor,
+    run: Option<RunLoopWorkers>,
+    /// Items ever enqueued per shard (dispatcher-side totals, compared
+    /// against `ShardCell::processed` to detect drain).
+    enqueued: Vec<u64>,
+    mode: ShardMode,
     config: NicConfig,
-    /// Global packet sequence number (drives counter sampling).
+    merge_scratch: MergeScratch,
+    /// The dispatcher's own burst buffer for helping drain shard rings
+    /// (work-conserving dispatch; see [`drain_burst`]).
+    help_scratch: Vec<WorkItem>,
+    /// Per-shard tx-burst staging buffers (see [`STAGE_BURST`]); always
+    /// empty between public calls.
+    stage: Vec<Vec<WorkItem>>,
+    /// Global packet count; drives counter sampling in `BitExact` mode.
     seq: u64,
     /// Global simulation clock in seconds.
     now_s: f64,
@@ -60,47 +394,205 @@ pub struct ShardedNic {
 
 impl ShardedNic {
     /// Deploys `graph` on a NIC with `workers` parallel shards (clamped
-    /// to at least 1), each owning a private executor.
+    /// to at least 1) in the default [`ShardMode::RunLoop`].
     pub fn new(graph: ProgramGraph, params: CostParams, workers: usize) -> Result<Self, IrError> {
+        Self::with_mode(graph, params, workers, ShardMode::default())
+    }
+
+    /// Deploys `graph` with an explicit worker-coordination mode.
+    pub fn with_mode(
+        graph: ProgramGraph,
+        params: CostParams,
+        workers: usize,
+        mode: ShardMode,
+    ) -> Result<Self, IrError> {
         let workers = workers.max(1);
-        let mut execs = Vec::with_capacity(workers);
+        let mut shards = Vec::with_capacity(workers);
         for _ in 0..workers {
-            execs.push(Executor::new(graph.clone(), params.clone())?);
+            let mut exec = Executor::new(graph.clone(), params.clone())?;
+            exec.set_sample_keying(keying_for(mode));
+            shards.push(Arc::new(ShardCell {
+                state: Mutex::new(ShardState {
+                    exec,
+                    ctx: BatchCtx::Forward,
+                    agg: BatchAgg::default(),
+                    out: Vec::new(),
+                    local_idx: 0,
+                    rx: None,
+                }),
+                processed: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+            }));
         }
-        Ok(Self {
-            execs,
-            config: NicConfig::default(),
+        let control = Executor::new(graph, params)?;
+        let enqueued = vec![0; workers];
+        let mut nic = Self {
+            shards,
+            control,
+            run: None,
+            enqueued,
+            mode,
+            config: NicConfig {
+                shard_mode: mode,
+                ..NicConfig::default()
+            },
+            merge_scratch: MergeScratch::default(),
+            help_scratch: Vec::with_capacity(BURST),
+            stage: (0..workers)
+                .map(|_| Vec::with_capacity(STAGE_BURST))
+                .collect(),
             seq: 0,
             now_s: 0.0,
             last_take_s: 0.0,
-        })
+        };
+        if mode == ShardMode::RunLoop {
+            nic.spawn_workers();
+        }
+        Ok(nic)
     }
 
-    /// Sets the measurement configuration.
+    /// Sets the measurement configuration (including the shard mode).
     pub fn with_config(mut self, config: NicConfig) -> Self {
         self.config = config;
+        self.set_shard_mode(config.shard_mode);
         self
+    }
+
+    /// The active worker-coordination mode.
+    pub fn shard_mode(&self) -> ShardMode {
+        self.mode
+    }
+
+    /// Switches worker coordination, tearing down or spinning up the
+    /// persistent run-loop threads as needed. Deployed programs, caches,
+    /// and pending profile windows carry over; the sampling keying
+    /// follows the mode ([`SampleKeying::GlobalSeq`] for `BitExact`,
+    /// [`SampleKeying::FlowKeyed`] for `RunLoop`).
+    pub fn set_shard_mode(&mut self, mode: ShardMode) {
+        if mode == self.mode {
+            return;
+        }
+        self.teardown_workers();
+        self.mode = mode;
+        self.config.shard_mode = mode;
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.set_sample_keying(keying_for(mode));
+        }
+        if mode == ShardMode::RunLoop {
+            self.spawn_workers();
+        }
+    }
+
+    fn spawn_workers(&mut self) {
+        debug_assert!(self.run.is_none());
+        let mut producers = Vec::with_capacity(self.shards.len());
+        let mut threads = Vec::with_capacity(self.shards.len());
+        let mut joins = Vec::with_capacity(self.shards.len());
+        let capacity =
+            (RING_TOTAL_SLOTS / self.shards.len()).clamp(RING_CAPACITY_MIN, RING_CAPACITY_MAX);
+        for cell in &self.shards {
+            cell.stop.store(false, Ordering::Release);
+            let (tx, rx) = ring::spsc::<WorkItem>(capacity);
+            cell.state.lock().expect("shard state poisoned").rx = Some(rx);
+            let cell = Arc::clone(cell);
+            let handle = thread::Builder::new()
+                .name("pipeleon-shard".into())
+                .spawn(move || worker_loop(cell))
+                .expect("spawn shard worker");
+            threads.push(handle.thread().clone());
+            joins.push(handle);
+            producers.push(tx);
+        }
+        self.run = Some(RunLoopWorkers {
+            producers,
+            threads,
+            joins,
+            wake_during_dispatch: thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        });
+    }
+
+    fn teardown_workers(&mut self) {
+        if let Some(run) = self.run.take() {
+            for cell in &self.shards {
+                cell.stop.store(true, Ordering::Release);
+            }
+            for t in &run.threads {
+                t.unpark();
+            }
+            for j in run.joins {
+                j.join().expect("shard worker panicked");
+            }
+            for cell in &self.shards {
+                cell.state.lock().expect("shard state poisoned").rx = None;
+            }
+        }
+    }
+
+    /// Blocks until every shard has processed everything enqueued for
+    /// it — by *helping*: the dispatcher drains pending rings itself
+    /// through the same [`drain_burst`] path the workers use, instead of
+    /// waking them and waiting. On a single-CPU host the whole batch
+    /// tail then runs with zero context switches; on multi-CPU hosts
+    /// pending shards are unparked first so their workers race the
+    /// dispatcher for bursts and the lock arbitrates. Termination is
+    /// structural: a shard with `processed < enqueued` always has its
+    /// remaining items either in the ring (the next `drain_burst` takes
+    /// them) or mid-execution under the shard lock (the lock acquisition
+    /// inside `drain_burst` waits them out).
+    fn wait_idle(&mut self) {
+        let run = self.run.as_ref().expect("run-loop workers alive");
+        if run.wake_during_dispatch {
+            for (i, cell) in self.shards.iter().enumerate() {
+                if cell.processed.load(Ordering::Acquire) != self.enqueued[i] {
+                    run.threads[i].unpark();
+                }
+            }
+        }
+        loop {
+            let mut all_drained = true;
+            for (i, cell) in self.shards.iter().enumerate() {
+                if cell.processed.load(Ordering::Acquire) != self.enqueued[i] {
+                    all_drained = false;
+                    drain_burst(cell, &mut self.help_scratch);
+                }
+            }
+            if all_drained {
+                return;
+            }
+        }
     }
 
     /// Number of worker shards.
     pub fn num_workers(&self) -> usize {
-        self.execs.len()
+        self.shards.len()
     }
 
     /// The deployed program (identical on every shard).
     pub fn graph(&self) -> &ProgramGraph {
-        self.execs[0].graph()
+        self.control.graph()
     }
 
-    /// Every shard's deployed program, in shard order. Control-plane
-    /// fan-out keeps these identical; tests assert it.
-    pub fn shard_graphs(&self) -> impl Iterator<Item = &ProgramGraph> + '_ {
-        self.execs.iter().map(|e| e.graph())
+    /// Every shard's deployed program, in shard order (cloned out of the
+    /// shard mutexes). Control-plane fan-out keeps these identical;
+    /// tests assert it.
+    pub fn shard_graphs(&self) -> Vec<ProgramGraph> {
+        self.shards
+            .iter()
+            .map(|c| {
+                c.state
+                    .lock()
+                    .expect("shard state poisoned")
+                    .exec
+                    .graph()
+                    .clone()
+            })
+            .collect()
     }
 
     /// The target parameters.
     pub fn params(&self) -> &CostParams {
-        self.execs[0].params()
+        self.control.params()
     }
 
     /// Current simulation time in seconds.
@@ -110,9 +602,10 @@ impl ShardedNic {
 
     /// Live-reconfigures every shard with a new program layout.
     pub fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
-        let mut out = Ok(());
-        for exec in &mut self.execs {
-            if let Err(e) = exec.deploy(graph.clone()) {
+        let mut out = self.control.deploy(graph.clone());
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            if let Err(e) = st.exec.deploy(graph.clone()) {
                 out = Err(e);
             }
         }
@@ -123,9 +616,10 @@ impl ShardedNic {
     /// shards hold identical graphs, so the operation either succeeds or
     /// fails identically everywhere; the last shard's result is returned.
     pub fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
-        let mut out = Ok(());
-        for exec in &mut self.execs {
-            if let Err(e) = exec.insert_entry(node, entry.clone()) {
+        let mut out = self.control.insert_entry(node, entry.clone());
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            if let Err(e) = st.exec.insert_entry(node, entry.clone()) {
                 out = Err(e);
             }
         }
@@ -134,9 +628,10 @@ impl ShardedNic {
 
     /// Removes a table entry by index on every shard (control-plane API).
     pub fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
-        let mut out = Err(IrError::UnknownNode(node));
-        for exec in &mut self.execs {
-            out = exec.remove_entry(node, index);
+        let mut out = self.control.remove_entry(node, index);
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            out = st.exec.remove_entry(node, index);
         }
         out
     }
@@ -148,9 +643,12 @@ impl ShardedNic {
         table: Table,
         next: Option<NextHops>,
     ) -> Result<(), IrError> {
-        let mut out = Ok(());
-        for exec in &mut self.execs {
-            if let Err(e) = exec.replace_table(node, table.clone(), next.clone()) {
+        let mut out = self
+            .control
+            .replace_table(node, table.clone(), next.clone());
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            if let Err(e) = st.exec.replace_table(node, table.clone(), next.clone()) {
                 out = Err(e);
             }
         }
@@ -159,89 +657,202 @@ impl ShardedNic {
 
     /// Flushes one flow cache on every shard.
     pub fn flush_cache(&mut self, node: NodeId) {
-        for exec in &mut self.execs {
-            exec.flush_cache(node);
+        self.control.flush_cache(node);
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.flush_cache(node);
         }
     }
 
     /// Total live entries in a flow cache's runtime state across shards.
     pub fn cache_len(&self, node: NodeId) -> usize {
-        self.execs.iter().map(|e| e.cache_len(node)).sum()
+        self.shards
+            .iter()
+            .map(|c| {
+                c.state
+                    .lock()
+                    .expect("shard state poisoned")
+                    .exec
+                    .cache_len(node)
+            })
+            .sum()
     }
 
     /// Sets a flow cache's insertion rate limit on every shard (each
     /// shard gets the full budget — see the module docs caveat).
     pub fn set_cache_insertion_limit(&mut self, node: NodeId, rate_per_s: f64) {
-        for exec in &mut self.execs {
-            exec.set_cache_insertion_limit(node, rate_per_s);
+        self.control.set_cache_insertion_limit(node, rate_per_s);
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.set_cache_insertion_limit(node, rate_per_s);
         }
     }
 
     /// Enables counter instrumentation with `sample_every` packet
     /// sampling on every shard.
     pub fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {
-        for exec in &mut self.execs {
-            exec.set_instrumentation(enabled, sample_every);
+        self.control.set_instrumentation(enabled, sample_every);
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.set_instrumentation(enabled, sample_every);
         }
     }
 
     /// Sets node placements on every shard.
     pub fn set_placement(&mut self, placement: Vec<Placement>) {
-        for exec in &mut self.execs {
-            exec.set_placement(placement.clone());
+        self.control.set_placement(placement.clone());
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.set_placement(placement.clone());
         }
     }
 
     /// Assigns tables to memory tiers on every shard.
     pub fn set_memory_tiers(&mut self, tiers: Vec<MemoryTier>) {
-        for exec in &mut self.execs {
-            exec.set_memory_tiers(tiers.clone());
+        self.control.set_memory_tiers(tiers.clone());
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.set_memory_tiers(tiers.clone());
         }
     }
 
     /// Selects the packet-execution engine on every shard.
     pub fn set_engine_mode(&mut self, mode: EngineMode) {
-        for exec in &mut self.execs {
-            exec.set_engine_mode(mode);
+        self.control.set_engine_mode(mode);
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.set_engine_mode(mode);
         }
     }
 
     /// The currently selected packet-execution engine (identical on every
     /// shard; control-plane fan-out keeps them in sync).
     pub fn engine_mode(&self) -> EngineMode {
-        self.execs[0].engine_mode()
+        self.control.engine_mode()
     }
 
     /// Processes a batch of packets in place (no arrival pacing),
-    /// returning one report per packet in input order. Packets execute
-    /// sequentially on the shards their flows hash to, driven by the
-    /// global sequence number, so results match a single-threaded run
-    /// packet-for-packet.
+    /// returning one report per packet in input order. In `RunLoop` mode
+    /// packets stream through the worker rings and results are scattered
+    /// back by input position; in `BitExact` mode packets run
+    /// sequentially under the global sequence schedule.
     pub fn process_batch(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
-        packets.iter_mut().map(|p| self.process_one(p)).collect()
+        match self.mode {
+            ShardMode::BitExact => packets.iter_mut().map(|p| self.process_one(p)).collect(),
+            ShardMode::RunLoop => self.process_batch_runloop(packets),
+        }
+    }
+
+    fn process_batch_runloop(&mut self, packets: &mut [Packet]) -> Vec<ExecReport> {
+        assert!(
+            u32::try_from(packets.len()).is_ok(),
+            "process_batch is limited to u32::MAX packets"
+        );
+        let nw = self.shards.len();
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.ctx = BatchCtx::Forward;
+            st.exec.now_s = self.now_s;
+            st.out.clear();
+        }
+        self.dispatch(packets.iter_mut().enumerate().map(|(i, slot)| {
+            let pkt = std::mem::replace(slot, Packet::with_slots(Vec::new()));
+            let shard = (pkt.flow_hash() % nw as u64) as usize;
+            (shard, WorkItem { idx: i as u32, pkt })
+        }));
+        self.wait_idle();
+        self.seq += packets.len() as u64;
+        let mut reports: Vec<Option<ExecReport>> = vec![None; packets.len()];
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            for (idx, pkt, r) in st.out.drain(..) {
+                packets[idx as usize] = pkt;
+                reports[idx as usize] = Some(r);
+            }
+        }
+        reports
+            .into_iter()
+            .map(|r| r.expect("every dispatched packet reports back"))
+            .collect()
+    }
+
+    /// Streams `(shard, item)` pairs onto the worker rings via the
+    /// per-shard tx-burst stage: items collect in a tiny hot buffer and
+    /// enter the ring [`STAGE_BURST`] at a time as one sequential slot
+    /// run. On ring-full backpressure the dispatcher *helps*: it drains
+    /// the full ring itself through the same locked path the workers use
+    /// rather than yielding the CPU and hoping a worker runs —
+    /// work-conserving on a single-CPU host. When real parallelism
+    /// exists, a shard is additionally unparked at every flush so its
+    /// worker overlaps with the arriving batch.
+    fn dispatch(&mut self, items: impl Iterator<Item = (usize, WorkItem)>) {
+        let run = self.run.as_mut().expect("run-loop workers alive");
+        let shards = &self.shards;
+        let help = &mut self.help_scratch;
+        let enqueued = &mut self.enqueued;
+        let stage = &mut self.stage;
+        let nw = enqueued.len();
+        for (shard, item) in items {
+            stage[shard].push(item);
+            if stage[shard].len() >= STAGE_BURST {
+                enqueued[shard] += flush_stage(
+                    &mut run.producers[shard],
+                    &shards[shard],
+                    &mut stage[shard],
+                    help,
+                );
+                if run.wake_during_dispatch {
+                    run.threads[shard].unpark();
+                }
+            }
+        }
+        for shard in 0..nw {
+            if !stage[shard].is_empty() {
+                enqueued[shard] += flush_stage(
+                    &mut run.producers[shard],
+                    &shards[shard],
+                    &mut stage[shard],
+                    help,
+                );
+            }
+            if run.wake_during_dispatch
+                && shards[shard].processed.load(Ordering::Acquire) != enqueued[shard]
+            {
+                run.threads[shard].unpark();
+            }
+        }
     }
 
     /// Processes one packet on the shard its flow hashes to (no arrival
-    /// pacing). Uses the global packet sequence number, so sampling
-    /// decisions match a single-threaded run packet-for-packet.
+    /// pacing), on the caller's thread. In `BitExact` mode the global
+    /// sequence number drives sampling, matching a single-threaded run
+    /// packet-for-packet; in `RunLoop` mode sampling is flow-keyed, so
+    /// reports match a flow-keyed single-threaded run instead.
     pub fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
-        let shard = (packet.flow_hash() % self.execs.len() as u64) as usize;
-        let exec = &mut self.execs[shard];
-        exec.now_s = self.now_s;
-        exec.set_packet_seq(self.seq);
+        let shard = (packet.flow_hash() % self.shards.len() as u64) as usize;
+        let mut st = self.shards[shard]
+            .state
+            .lock()
+            .expect("shard state poisoned");
+        st.exec.now_s = self.now_s;
+        if self.mode == ShardMode::BitExact {
+            st.exec.set_packet_seq(self.seq);
+        }
         self.seq += 1;
-        exec.process(packet)
+        st.exec.process(packet)
     }
 
     /// Takes the merged profile collected across all shards since the
-    /// last call: counters merge via [`RuntimeProfile::merge`], the
-    /// window is the global clock delta, and distinct-key counts come
-    /// from exact cross-shard unions of the raw key sets.
+    /// last call — the window-boundary merge: counters fold via
+    /// [`RuntimeProfile::merge`], the window is the global clock delta,
+    /// and distinct-key counts come from exact cross-shard unions of the
+    /// raw key sets.
     pub fn take_profile(&mut self) -> RuntimeProfile {
         let mut merged = RuntimeProfile::empty();
         let mut union: HashMap<NodeId, fxhash::FxHashSet<crate::SmallKey>> = HashMap::new();
-        for exec in &mut self.execs {
-            let (p, distinct) = exec.take_profile_split();
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            let (p, distinct) = st.exec.take_profile_split();
             merged.merge(&p);
             for (node, set) in distinct {
                 union.entry(node).or_default().extend(set);
@@ -256,25 +867,140 @@ impl ShardedNic {
     }
 
     /// Takes the merged latency observations across all shards since the
-    /// last call. Histogram merging is bit-exact (integer bucket sums),
-    /// and the counter-sampling decision is driven by global arrival
-    /// indices, so the merged histograms are bit-identical to a
-    /// single-threaded [`SmartNic`](crate::SmartNic) run on the same
-    /// traffic, for any worker count.
+    /// last call — the window-boundary merge. Histogram merging is
+    /// bit-exact (integer bucket sums) and the sampled-packet *set* is
+    /// partition-invariant in both modes (global indices in `BitExact`,
+    /// flow-keyed decisions in `RunLoop`), so the merged histograms are
+    /// identical for any worker count.
     pub fn take_observations(&mut self) -> ExecObservations {
         let mut merged = ExecObservations::new();
-        for exec in &mut self.execs {
-            merged.merge(&exec.take_observations());
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            merged.merge(&st.exec.take_observations());
         }
         merged
     }
 
-    /// Runs a batch offered at line rate through the sharded datapath and
-    /// reports achieved throughput and latency statistics, bit-identical
-    /// to [`SmartNic::measure`](crate::SmartNic::measure) on the same
-    /// traffic (modulo the flow-cache caveat in the module docs).
-    /// Advances the simulation clock by the batch's arrival time.
+    /// Runs a batch offered at line rate through the sharded datapath
+    /// and reports achieved throughput and latency statistics. Advances
+    /// the simulation clock by the batch's arrival time. `BitExact`
+    /// results are bit-identical to
+    /// [`SmartNic::measure`](crate::SmartNic::measure); `RunLoop`
+    /// results preserve every integer statistic and the p99 exactly and
+    /// the float aggregates up to summation order (module docs).
     pub fn measure<I>(&mut self, packets: I) -> BatchStats
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        match self.mode {
+            ShardMode::BitExact => self.measure_bitexact(packets),
+            ShardMode::RunLoop => self.measure_runloop(packets),
+        }
+    }
+
+    fn measure_runloop<I>(&mut self, packets: I) -> BatchStats
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        let cores = self.params().num_cores.max(1);
+        let line_pps = self.params().line_rate_pps(self.config.packet_bytes);
+        let offered_gbps = self.params().line_rate_gbps;
+        let default_bytes = self.config.packet_bytes;
+        let batch_start_s = self.now_s;
+        let nw = self.shards.len();
+
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.ctx = BatchCtx::Measure {
+                batch_start_s,
+                line_pps,
+                cores,
+                default_bytes,
+            };
+            st.local_idx = 0;
+            st.agg.reset();
+        }
+        let mut n = 0u64;
+        self.dispatch(packets.into_iter().map(|pkt| {
+            n += 1;
+            let shard = (pkt.flow_hash() % nw as u64) as usize;
+            (shard, WorkItem { idx: 0, pkt })
+        }));
+        self.wait_idle();
+
+        self.seq += n;
+        if n > 0 {
+            self.now_s = batch_start_s + n as f64 / line_pps;
+        }
+        // Deterministic window-boundary merge, in shard order, into the
+        // persistent scratch (allocation-free in steady state: a fresh
+        // multi-hundred-KB allocation here pays for consolidating the
+        // small-chunk debris the workers' packet processing left in the
+        // allocator, which grows with worker count and would be charged
+        // straight to the batch's wall clock).
+        let scratch = &mut self.merge_scratch;
+        scratch.core_busy_ns.clear();
+        scratch.core_busy_ns.resize(cores, 0.0);
+        scratch.latencies.clear();
+        scratch.latencies.reserve(n as usize);
+        let mut dropped = 0u64;
+        let mut migrations = 0u64;
+        let mut counter_updates = 0u64;
+        let mut total_bits = 0.0f64;
+        let mut lat_sum = 0.0f64;
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            // Align every shard clock to the batch end so subsequent
+            // direct access observes a consistent global time.
+            st.exec.now_s = self.now_s;
+            st.ctx = BatchCtx::Forward;
+            let agg = &mut st.agg;
+            for (i, v) in agg.core_busy_ns.iter().enumerate() {
+                scratch.core_busy_ns[i] += v;
+            }
+            scratch.latencies.extend_from_slice(&agg.latencies);
+            dropped += agg.dropped;
+            migrations += agg.migrations;
+            counter_updates += agg.counter_updates;
+            total_bits += agg.bits;
+            lat_sum += agg.lat_sum;
+            agg.reset();
+        }
+        if n == 0 {
+            return BatchStats {
+                packets: 0,
+                dropped: 0,
+                mean_latency_ns: 0.0,
+                p99_latency_ns: 0.0,
+                throughput_gbps: 0.0,
+                offered_gbps,
+                migrations: 0,
+                counter_updates: 0,
+            };
+        }
+        let arrival_ns = n as f64 / line_pps * 1e9;
+        let busiest_ns = scratch.core_busy_ns.iter().cloned().fold(0.0f64, f64::max);
+        let duration_ns = arrival_ns.max(busiest_ns);
+        // Same nearest-rank reduction as `BatchStats::from_records`; the
+        // sorted latency multiset is partition-invariant, so the p99 is
+        // exact.
+        scratch
+            .latencies
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let rank = ((n as f64 * 0.99).ceil() as usize).clamp(1, scratch.latencies.len());
+        BatchStats {
+            packets: n,
+            dropped,
+            mean_latency_ns: lat_sum / n as f64,
+            p99_latency_ns: scratch.latencies[rank - 1],
+            throughput_gbps: (total_bits / duration_ns).min(offered_gbps),
+            offered_gbps,
+            migrations,
+            counter_updates,
+        }
+    }
+
+    fn measure_bitexact<I>(&mut self, packets: I) -> BatchStats
     where
         I: IntoIterator<Item = Packet>,
     {
@@ -284,26 +1010,28 @@ impl ShardedNic {
         let default_bytes = self.config.packet_bytes;
         let batch_start_s = self.now_s;
         let base_seq = self.seq;
-        let nw = self.execs.len();
+        let nw = self.shards.len();
 
         // RSS: partition the batch by flow hash, tagging each packet with
         // its global arrival index.
-        let mut shards: Vec<Vec<(u64, Packet)>> = (0..nw).map(|_| Vec::new()).collect();
+        let mut work: Vec<Vec<(u64, Packet)>> = (0..nw).map(|_| Vec::new()).collect();
         let mut n = 0u64;
         for pkt in packets {
             let shard = (pkt.flow_hash() % nw as u64) as usize;
-            shards[shard].push((n, pkt));
+            work[shard].push((n, pkt));
             n += 1;
         }
 
         let mut records: Vec<PacketRecord> = Vec::with_capacity(n as usize);
         std::thread::scope(|s| {
             let mut handles = Vec::new();
-            for (exec, work) in self.execs.iter_mut().zip(shards) {
+            for (cell, work) in self.shards.iter().zip(work) {
                 if work.is_empty() {
                     continue;
                 }
                 handles.push(s.spawn(move || {
+                    let mut st = cell.state.lock().expect("shard state poisoned");
+                    let exec = &mut st.exec;
                     let mut out = Vec::with_capacity(work.len());
                     for (gidx, mut pkt) in work {
                         // Replay the global single-threaded schedule on
@@ -344,11 +1072,18 @@ impl ShardedNic {
         }
         // Leave every shard's clock and sequence at the batch end so
         // subsequent direct executor access observes a consistent state.
-        for exec in &mut self.execs {
-            exec.now_s = self.now_s;
-            exec.set_packet_seq(self.seq);
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.exec.now_s = self.now_s;
+            st.exec.set_packet_seq(self.seq);
         }
         BatchStats::from_records(&records, cores, line_pps, offered_gbps)
+    }
+}
+
+impl Drop for ShardedNic {
+    fn drop(&mut self) {
+        self.teardown_workers();
     }
 }
 
@@ -410,6 +1145,10 @@ impl NicBackend for ShardedNic {
         ShardedNic::engine_mode(self)
     }
 
+    fn shard_mode(&self) -> ShardMode {
+        ShardedNic::shard_mode(self)
+    }
+
     fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
         ShardedNic::process_one(self, packet)
     }
@@ -453,11 +1192,11 @@ mod tests {
     }
 
     #[test]
-    fn matches_single_threaded_batch_stats() {
+    fn bitexact_matches_single_threaded_batch_stats() {
         let g = linear_program(8);
         let params = CostParams::bluefield2();
         let mut single = SmartNic::new(g.clone(), params.clone()).unwrap();
-        let mut sharded = ShardedNic::new(g, params, 4).unwrap();
+        let mut sharded = ShardedNic::with_mode(g, params, 4, ShardMode::BitExact).unwrap();
         single.set_instrumentation(true, 16);
         sharded.set_instrumentation(true, 16);
         let a = single.measure(packets(4000));
@@ -471,6 +1210,85 @@ mod tests {
     }
 
     #[test]
+    fn runloop_matches_bitexact_integer_stats_and_decisions() {
+        let g = linear_program(8);
+        let params = CostParams::bluefield2();
+        let mut oracle =
+            ShardedNic::with_mode(g.clone(), params.clone(), 4, ShardMode::BitExact).unwrap();
+        let mut runloop = ShardedNic::with_mode(g, params, 4, ShardMode::RunLoop).unwrap();
+        assert_eq!(runloop.shard_mode(), ShardMode::RunLoop);
+        let a = oracle.measure(packets(4000));
+        let b = runloop.measure(packets(4000));
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.counter_updates, b.counter_updates);
+        assert_eq!(a.p99_latency_ns.to_bits(), b.p99_latency_ns.to_bits());
+        assert!((a.mean_latency_ns - b.mean_latency_ns).abs() < 1e-6);
+        assert!((a.throughput_gbps - b.throughput_gbps).abs() < 1e-6);
+        assert_eq!(oracle.now_s(), runloop.now_s());
+    }
+
+    #[test]
+    fn runloop_sampled_profiles_are_worker_count_invariant() {
+        // The satellite-3 regression: per-shard sequence stamping must
+        // not skew sampling. Flow-keyed sampling makes the sampled
+        // *set* identical for every worker count, so window-merged
+        // profiles and histograms are bit-identical across 1/2/8
+        // workers even at sample_every > 1.
+        let g = linear_program(6);
+        let params = CostParams::bluefield2();
+        let batch = packets(6000);
+        let mut reference: Option<(RuntimeProfile, ExecObservations)> = None;
+        for workers in [1usize, 2, 8] {
+            let mut nic =
+                ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::RunLoop)
+                    .unwrap();
+            nic.set_instrumentation(true, 8);
+            nic.measure(batch.clone());
+            let got = (nic.take_profile(), nic.take_observations());
+            assert!(got.0.total_packets > 0, "sampling must pick packets");
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(want.0, got.0, "profile changed at workers={workers}");
+                    assert_eq!(want.1, got.1, "histograms changed at workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runloop_process_batch_preserves_input_order() {
+        let g = linear_program(4);
+        let params = CostParams::bluefield2();
+        let mut single = SmartNic::new(g.clone(), params.clone()).unwrap();
+        let mut sharded = ShardedNic::new(g, params, 4).unwrap();
+        let mut a = packets(1000);
+        let mut b = a.clone();
+        let ra = single.process_batch(&mut a);
+        let rb = sharded.process_batch(&mut b);
+        assert_eq!(ra, rb, "uninstrumented reports match packet-for-packet");
+        assert_eq!(a, b, "packet mutations match in input order");
+    }
+
+    #[test]
+    fn mode_switch_preserves_program_and_keeps_working() {
+        let g = linear_program(4);
+        let mut nic = ShardedNic::new(g.clone(), CostParams::bluefield2(), 3).unwrap();
+        let s1 = nic.measure(packets(500));
+        nic.set_shard_mode(ShardMode::BitExact);
+        assert_eq!(nic.shard_mode(), ShardMode::BitExact);
+        assert_eq!(*nic.graph(), g);
+        let s2 = nic.measure(packets(500));
+        assert_eq!(s1.packets, s2.packets);
+        nic.set_shard_mode(ShardMode::RunLoop);
+        let s3 = nic.measure(packets(500));
+        assert_eq!(s3.packets, 500);
+        assert!(nic.now_s() > 0.0);
+    }
+
+    #[test]
     fn zero_workers_clamps_to_one() {
         let nic = ShardedNic::new(linear_program(2), CostParams::bluefield2(), 0).unwrap();
         assert_eq!(nic.num_workers(), 1);
@@ -478,11 +1296,15 @@ mod tests {
 
     #[test]
     fn empty_batch_is_harmless() {
-        let mut nic = ShardedNic::new(linear_program(2), CostParams::bluefield2(), 4).unwrap();
-        let s = nic.measure(Vec::new());
-        assert_eq!(s.packets, 0);
-        assert_eq!(s.throughput_gbps, 0.0);
-        assert_eq!(nic.now_s(), 0.0);
+        for mode in [ShardMode::RunLoop, ShardMode::BitExact] {
+            let mut nic =
+                ShardedNic::with_mode(linear_program(2), CostParams::bluefield2(), 4, mode)
+                    .unwrap();
+            let s = nic.measure(Vec::new());
+            assert_eq!(s.packets, 0);
+            assert_eq!(s.throughput_gbps, 0.0);
+            assert_eq!(nic.now_s(), 0.0);
+        }
     }
 
     #[test]

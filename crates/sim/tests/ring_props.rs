@@ -1,0 +1,174 @@
+//! Property tests for the SPSC ring ([`pipeleon_sim::ring`]) against a
+//! `VecDeque` reference model, plus a two-thread interleaving smoke for
+//! the head/tail Release/Acquire protocol.
+//!
+//! The model check drives an arbitrary interleaved sequence of
+//! single-item and burst enqueue/dequeue operations (from the one
+//! producer and one consumer side the type system enforces) and asserts
+//! the ring agrees with the deque on every observable: popped values in
+//! order (no loss, no duplication, no reordering), reported occupancy,
+//! and full/empty refusals — including across many wraparounds at the
+//! capacity boundary.
+
+use pipeleon_sim::ring;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One scripted operation against both the ring and the model.
+#[derive(Debug, Clone)]
+enum Op {
+    Push,
+    PushBurst(usize),
+    Pop,
+    PopBurst(usize),
+    Len,
+}
+
+/// (The vendored proptest stand-in has no `prop_oneof`, so a selector
+/// integer picks the variant.)
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..11, 1usize..24).prop_map(|(sel, n)| match sel {
+        0..=2 => Op::Push,
+        3..=4 => Op::PushBurst(n),
+        5..=7 => Op::Pop,
+        8..=9 => Op::PopBurst(n),
+        _ => Op::Len,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The ring is observationally a bounded FIFO: every op sequence
+    /// produces exactly the deque's behaviour.
+    #[test]
+    fn ring_matches_vecdeque_model(
+        capacity in 0usize..20,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let (mut p, mut c) = ring::spsc::<u64>(capacity);
+        let cap = p.capacity();
+        prop_assert!(cap >= capacity.max(2));
+        prop_assert!(cap.is_power_of_two());
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64; // monotone payloads make dup/reorder visible
+        for op in ops {
+            match op {
+                Op::Push => {
+                    let r = p.push(next);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok(), "push refused below capacity");
+                        model.push_back(next);
+                        next += 1;
+                    } else {
+                        prop_assert_eq!(r, Err(next), "push accepted at capacity");
+                    }
+                }
+                Op::PushBurst(n) => {
+                    let want = n.min(cap - model.len());
+                    let mut src = next..next + n as u64;
+                    let pushed = p.push_burst(&mut src);
+                    prop_assert_eq!(pushed, want, "burst pushed a different run");
+                    for v in next..next + pushed as u64 {
+                        model.push_back(v);
+                    }
+                    // Unpushed items stay in the iterator.
+                    prop_assert_eq!(src.next(), (next + pushed as u64..).next().filter(|_| pushed < n));
+                    next += pushed as u64;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(c.pop(), model.pop_front(), "pop order diverged");
+                }
+                Op::PopBurst(n) => {
+                    let mut out = Vec::new();
+                    let got = c.pop_burst(&mut out, n);
+                    prop_assert_eq!(got, out.len());
+                    prop_assert_eq!(got, n.min(model.len()), "burst popped a different run");
+                    for v in out {
+                        prop_assert_eq!(Some(v), model.pop_front(), "burst order diverged");
+                    }
+                }
+                Op::Len => {
+                    prop_assert_eq!(c.len(), model.len(), "occupancy diverged");
+                    prop_assert_eq!(c.is_empty(), model.is_empty());
+                    prop_assert_eq!(p.free(), cap - model.len(), "free slots diverged");
+                }
+            }
+        }
+        // Drain: everything pushed and not yet popped comes out in order.
+        let mut out = Vec::new();
+        c.pop_burst(&mut out, usize::MAX);
+        prop_assert_eq!(out, model.into_iter().collect::<Vec<_>>(), "drain diverged");
+    }
+
+    /// Wraparound at the capacity boundary specifically: fill to
+    /// capacity, drain a prefix, refill — many times over, far past the
+    /// index wrapping the mask.
+    #[test]
+    fn wraparound_at_capacity_boundary(
+        capacity in 0usize..10,
+        rounds in 1usize..40,
+        drain in 1usize..8,
+    ) {
+        let (mut p, mut c) = ring::spsc::<u64>(capacity);
+        let cap = p.capacity();
+        let drain = drain.min(cap);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for _ in 0..rounds {
+            while p.push(next).is_ok() {
+                next += 1;
+            }
+            prop_assert_eq!(c.len(), cap, "full ring must hold exactly capacity");
+            for _ in 0..drain {
+                prop_assert_eq!(c.pop(), Some(expect), "wraparound reordered items");
+                expect += 1;
+            }
+        }
+        let mut out = Vec::new();
+        c.pop_burst(&mut out, usize::MAX);
+        prop_assert_eq!(out, (expect..next).collect::<Vec<_>>());
+        prop_assert_eq!(c.pop(), None);
+    }
+}
+
+/// Two-thread interleaving smoke for the Release/Acquire protocol: a
+/// real producer thread races a real consumer over a tiny ring (maximum
+/// contention, constant wraparound) and every item must arrive exactly
+/// once, in order. Runs several times to vary the OS interleaving —
+/// an offline stand-in for a loom exploration.
+#[test]
+fn two_thread_interleaving_smoke() {
+    // `yield_now`, not `spin_loop`: on a single-CPU host a pure spin
+    // wastes the whole timeslice before the other side can run.
+    const ITEMS: u64 = 50_000;
+    for round in 0..4 {
+        let (mut p, mut c) = ring::spsc::<u64>(4);
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < ITEMS {
+                match p.push(next) {
+                    Ok(()) => next += 1,
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut expect = 0u64;
+            let mut burst = Vec::with_capacity(4);
+            while expect < ITEMS {
+                if c.pop_burst(&mut burst, 4) == 0 {
+                    std::thread::yield_now();
+                    continue;
+                }
+                for v in burst.drain(..) {
+                    assert_eq!(v, expect, "round {round}: lost/duplicated/reordered");
+                    expect += 1;
+                }
+            }
+            assert_eq!(c.pop(), None, "round {round}: extra items");
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+}

@@ -165,9 +165,9 @@ fn controller_survives_churn_on_sharded_target() {
         //    entry fan-out left all shards with identical graphs.
         let reference = c.target.nic.graph().clone();
         reference.validate().unwrap();
-        for (shard, g) in c.target.nic.shard_graphs().enumerate() {
+        for (shard, g) in c.target.nic.shard_graphs().into_iter().enumerate() {
             assert_eq!(
-                *g, reference,
+                g, reference,
                 "window {window}: shard {shard} diverged from shard 0 (report {report:?})"
             );
         }

@@ -1,0 +1,400 @@
+//! Differential suite for the run-loop sharded datapath:
+//! [`ShardMode::RunLoop`] (persistent workers fed by SPSC rings, merge
+//! deferred to window boundaries) against the [`ShardMode::BitExact`]
+//! oracle (global arrival replay), over the example programs and an
+//! 8-seed synthetic matrix at workers 1/2/8.
+//!
+//! # The invariant set
+//!
+//! Global arrival interleaving is *intentionally relaxed* by the
+//! run-loop model, so "identical" is asserted per invariant class:
+//!
+//! **Exact (asserted bitwise):**
+//! 1. Final forwarding decisions and packet mutations, packet-for-packet
+//!    in input order.
+//! 2. Per-flow packet order — asserted through a stateful flow-cache
+//!    program where any reordering within a flow flips hit/miss
+//!    patterns and thus reports.
+//! 3. Integer batch statistics: packet, drop, migration and
+//!    counter-update counts.
+//! 4. The p99 latency — reduced from the merged latency multiset, which
+//!    is partition-invariant, so it matches the oracle bit-for-bit.
+//! 5. Window-merged profiles and latency histograms at
+//!    `sample_every == 1` (every packet sampled ⇒ the sampled set is
+//!    trivially schedule-independent).
+//! 6. Window-merged profiles and histograms across *worker counts* at
+//!    any `sample_every`: run-loop sampling is flow-keyed
+//!    ([`SampleKeying::FlowKeyed`]), so the sampled set depends only on
+//!    `(flow, per-flow index)` — the single-threaded reference is a
+//!    [`SmartNic`] with flow-keyed sampling.
+//!
+//! **Relaxed (asserted within tolerance):**
+//! 7. Mean latency and throughput — float sums accumulated per shard
+//!    and merged in shard order, so only summation order differs from
+//!    the oracle.
+//!
+//! Invariant 6 is also the satellite regression for the old
+//! shared-arrival-index coupling: per-shard sequence stamping must not
+//! skew which packets the `LatencyHistogram`s sample, for any worker
+//! count.
+
+use pipeleon_cost::{CostParams, RuntimeProfile};
+use pipeleon_ir::{
+    json, CacheRole, MatchKind, MatchValue, NodeId, Primitive, ProgramBuilder, ProgramGraph,
+    TableEntry,
+};
+use pipeleon_sim::{
+    BatchStats, ExecObservations, Packet, SampleKeying, ShardMode, ShardedNic, SmartNic,
+};
+use pipeleon_workloads::synth::{synthesize, MatchMix, SynthConfig};
+use pipeleon_workloads::traffic::FlowGen;
+
+/// 1 is the degenerate shard, 2 the smallest real split, 8 more shards
+/// than distinct flows in some phases.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Same fixed seed matrix CI runs for the chaos and compiled suites.
+const SYNTH_SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// Relative tolerance for the order-relaxed float aggregates. Summation
+/// order only perturbs the last ULPs; anything past 1e-9 relative is a
+/// real divergence, not reassociation.
+const FLOAT_RTOL: f64 = 1e-9;
+
+/// Seeded flow traffic over every field any table of `g` matches on.
+fn key_traffic(g: &ProgramGraph, flows: usize, seed: u64, packets: usize) -> Vec<Packet> {
+    let mut flow_fields = Vec::new();
+    for (_, t) in g.tables() {
+        for k in &t.keys {
+            if !flow_fields.contains(&k.field) {
+                flow_fields.push(k.field);
+            }
+        }
+    }
+    FlowGen::new(g.fields.len(), flow_fields, flows, seed)
+        .with_zipf(1.1)
+        .batch(packets)
+}
+
+fn example_programs() -> Vec<(String, ProgramGraph)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/programs");
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/programs exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .map(|e| e.path())
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for path in names {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let g = json::from_json_string(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        out.push((path.file_stem().unwrap().to_string_lossy().into_owned(), g));
+    }
+    assert!(!out.is_empty(), "no example programs found");
+    out
+}
+
+/// Counter-by-counter profile comparison, so a regression names the
+/// first diverging counter instead of dumping two whole profiles.
+fn assert_profiles_identical(a: &RuntimeProfile, b: &RuntimeProfile, ctx: &str) {
+    assert_eq!(a.total_packets, b.total_packets, "{ctx}: total_packets");
+    let mut ae: Vec<_> = a.edges().collect();
+    let mut be: Vec<_> = b.edges().collect();
+    ae.sort();
+    be.sort();
+    assert_eq!(ae, be, "{ctx}: edge counters");
+    let mut aa: Vec<_> = a.actions().collect();
+    let mut ba: Vec<_> = b.actions().collect();
+    aa.sort();
+    ba.sort();
+    assert_eq!(aa, ba, "{ctx}: action counters");
+    assert_eq!(a.cache_stats, b.cache_stats, "{ctx}: cache stats");
+    assert_eq!(a.distinct_keys, b.distinct_keys, "{ctx}: distinct keys");
+    assert_eq!(a.window_s, b.window_s, "{ctx}: window");
+    assert_eq!(a, b, "{ctx}: full profile");
+}
+
+fn assert_close(a: f64, b: f64, ctx: &str) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= FLOAT_RTOL * scale,
+        "{ctx}: {a} vs {b} beyond reassociation tolerance"
+    );
+}
+
+/// Invariants 3, 4, 7: the merged batch statistics of a run-loop
+/// measurement against the bit-exact oracle.
+fn assert_stats_match(oracle: BatchStats, runloop: BatchStats, ctx: &str) {
+    assert_eq!(oracle.packets, runloop.packets, "{ctx}: packets");
+    assert_eq!(oracle.dropped, runloop.dropped, "{ctx}: dropped");
+    assert_eq!(oracle.migrations, runloop.migrations, "{ctx}: migrations");
+    assert_eq!(
+        oracle.counter_updates, runloop.counter_updates,
+        "{ctx}: counter updates"
+    );
+    assert_eq!(
+        oracle.p99_latency_ns.to_bits(),
+        runloop.p99_latency_ns.to_bits(),
+        "{ctx}: p99 (partition-invariant multiset reduction) must be exact"
+    );
+    assert_eq!(oracle.offered_gbps, runloop.offered_gbps, "{ctx}: offered");
+    assert_close(
+        oracle.mean_latency_ns,
+        runloop.mean_latency_ns,
+        &format!("{ctx}: mean latency"),
+    );
+    assert_close(
+        oracle.throughput_gbps,
+        runloop.throughput_gbps,
+        &format!("{ctx}: throughput"),
+    );
+}
+
+/// Invariants 1+2: process the same batch through a run-loop nic and a
+/// single-threaded [`SmartNic`]; every packet must come out mutated
+/// identically (same forwarding decision, same writes) in input order.
+fn assert_decisions_identical(
+    g: &ProgramGraph,
+    params: &CostParams,
+    batch: &[Packet],
+    workers: usize,
+    ctx: &str,
+) {
+    let mut single = SmartNic::new(g.clone(), params.clone()).unwrap();
+    let mut runloop =
+        ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::RunLoop).unwrap();
+    let mut a = batch.to_vec();
+    let mut b = batch.to_vec();
+    let ra = single.process_batch(&mut a);
+    let rb = runloop.process_batch(&mut b);
+    assert_eq!(a, b, "{ctx}: packet mutations diverged");
+    for (i, (x, y)) in ra.iter().zip(&rb).enumerate() {
+        assert_eq!(
+            x.dropped, y.dropped,
+            "{ctx}: packet {i} forwarding decision"
+        );
+    }
+    // Uninstrumented reports carry no sampling state, so they must be
+    // fully identical, latency bits included.
+    assert_eq!(ra, rb, "{ctx}: full uninstrumented reports");
+}
+
+/// Invariant 6 (and the satellite-3 regression): window-merged profiles
+/// and histograms from run-loop nics must be bit-identical for every
+/// worker count, with a flow-keyed single-threaded [`SmartNic`] as the
+/// reference.
+fn assert_window_merge_worker_invariant(
+    g: &ProgramGraph,
+    params: &CostParams,
+    batch: &[Packet],
+    sample_every: u64,
+    ctx: &str,
+) {
+    let mut reference = SmartNic::new(g.clone(), params.clone()).unwrap();
+    reference.set_sample_keying(SampleKeying::FlowKeyed);
+    reference.set_instrumentation(true, sample_every);
+    reference.measure(batch.to_vec());
+    let want_profile = reference.take_profile();
+    let want_obs = reference.take_observations();
+    assert!(
+        want_profile.total_packets > 0,
+        "{ctx}: sampling must pick packets"
+    );
+    for workers in WORKER_COUNTS {
+        let mut nic =
+            ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::RunLoop).unwrap();
+        nic.set_instrumentation(true, sample_every);
+        nic.measure(batch.to_vec());
+        let ctx = format!("{ctx}: workers={workers} sample={sample_every}");
+        assert_profiles_identical(&want_profile, &nic.take_profile(), &ctx);
+        assert_eq!(
+            want_obs,
+            nic.take_observations(),
+            "{ctx}: merged histograms diverged"
+        );
+    }
+}
+
+/// The full matrix for one program: decisions, stats, and window merges
+/// at workers 1/2/8.
+fn assert_runloop_differential(g: &ProgramGraph, params: &CostParams, batch: &[Packet], ctx: &str) {
+    for workers in WORKER_COUNTS {
+        let ctx = format!("{ctx}: workers={workers}");
+        assert_decisions_identical(g, params, batch, workers, &ctx);
+
+        // Invariants 3/4/7 with instrumentation on.
+        let mut oracle =
+            ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::BitExact).unwrap();
+        let mut runloop =
+            ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::RunLoop).unwrap();
+        oracle.set_instrumentation(true, 1);
+        runloop.set_instrumentation(true, 1);
+        let so = oracle.measure(batch.to_vec());
+        let sr = runloop.measure(batch.to_vec());
+        assert_stats_match(so, sr, &ctx);
+        assert_eq!(oracle.now_s(), runloop.now_s(), "{ctx}: clocks diverged");
+
+        // Invariant 5: at sample_every == 1 the sampled set is trivially
+        // schedule-independent, so profiles and histograms match the
+        // oracle bit-for-bit too.
+        assert_profiles_identical(&oracle.take_profile(), &runloop.take_profile(), &ctx);
+        assert_eq!(
+            oracle.take_observations(),
+            runloop.take_observations(),
+            "{ctx}: sample=1 histograms diverged"
+        );
+    }
+    // Invariant 6 at a sparse sampling rate.
+    assert_window_merge_worker_invariant(g, params, batch, 8, ctx);
+}
+
+#[test]
+fn example_programs_runloop_matches_oracle() {
+    let params = CostParams::bluefield2();
+    for (name, g) in example_programs() {
+        let batch = key_traffic(&g, 300, 0xB0 + name.len() as u64, 1_000);
+        assert_runloop_differential(&g, &params, &batch, &format!("example {name}"));
+    }
+}
+
+#[test]
+fn synth_seed_matrix_runloop_matches_oracle() {
+    for &seed in &SYNTH_SEEDS {
+        let cfg = SynthConfig {
+            pipelets: 2 + (seed % 3) as usize,
+            pipelet_len: 2 + (seed % 2) as usize,
+            match_mix: if seed % 2 == 0 {
+                MatchMix::default_mix()
+            } else {
+                MatchMix::all_exact()
+            },
+            drop_fraction: if seed.is_multiple_of(3) { 0.25 } else { 0.0 },
+            write_fraction: 0.2,
+            seed,
+            ..SynthConfig::default()
+        };
+        let g = synthesize(&cfg);
+        let params = if seed % 2 == 0 {
+            CostParams::agilio_cx()
+        } else {
+            CostParams::emulated_nic()
+        };
+        let batch = key_traffic(&g, 500, seed * 101, 1_000);
+        assert_runloop_differential(&g, &params, &batch, &format!("synth seed {seed}"));
+    }
+}
+
+/// Builds: cache(keys=[x]) -ByAction-> [hit -> sink, miss -> heavy -> sink]
+/// — the stateful program for the per-flow-order invariant: whether a
+/// packet hits or misses the LRU depends on exactly which packets of its
+/// flow ran before it on its shard.
+fn cached_flow_program() -> (ProgramGraph, NodeId) {
+    let mut b = ProgramBuilder::new();
+    let x = b.field("x");
+    let y = b.field("y");
+    let heavy = b
+        .table("heavy")
+        .key(x, MatchKind::Ternary)
+        .action("mark", vec![Primitive::set(y, 1)])
+        .default_action(0)
+        .entry(TableEntry::with_priority(
+            vec![MatchValue::Ternary {
+                value: 0,
+                mask: 0xF,
+            }],
+            0,
+            1,
+        ))
+        .finish();
+    b.set_next(heavy, None);
+    let cache = b
+        .table("cache")
+        .key(x, MatchKind::Exact)
+        .action_nop("hit")
+        .action_nop("miss")
+        .default_action(1)
+        .cache_role(CacheRole::FlowCache)
+        .max_entries(64)
+        .by_action(vec![None, Some(heavy)])
+        .finish();
+    (b.seal(cache).unwrap(), cache)
+}
+
+#[test]
+fn per_flow_order_is_preserved_through_stateful_caches() {
+    // Invariant 2, asserted through state: 96 flows against a 64-entry
+    // per-shard LRU. The hit/miss (and eviction) pattern each flow sees
+    // is a function of the per-shard packet order, so if the run loop
+    // reordered packets within a flow — or migrated a flow between
+    // shards — reports and final cache occupancy would diverge from the
+    // bit-exact oracle, which replays global arrival order exactly.
+    let (g, cache) = cached_flow_program();
+    let params = CostParams::bluefield2();
+    let batch: Vec<Packet> = (0..2_000u64)
+        .map(|i| Packet::with_slots(vec![(i * 31) % 96, 0]))
+        .collect();
+    for workers in WORKER_COUNTS {
+        let mut oracle =
+            ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::BitExact).unwrap();
+        let mut runloop =
+            ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::RunLoop).unwrap();
+        let mut a = batch.clone();
+        let mut b = batch.clone();
+        let ra = oracle.process_batch(&mut a);
+        let rb = runloop.process_batch(&mut b);
+        assert_eq!(a, b, "workers={workers}: packet mutations diverged");
+        assert_eq!(ra, rb, "workers={workers}: cache-path reports diverged");
+        assert_eq!(
+            oracle.cache_len(cache),
+            runloop.cache_len(cache),
+            "workers={workers}: final cache occupancy diverged"
+        );
+    }
+}
+
+#[test]
+fn sampled_histogram_counts_are_worker_count_invariant() {
+    // The satellite-3 regression in isolation, pinning *counts*: the old
+    // coupling stamped per-shard sequence numbers into a global-modulo
+    // sampling rule, so the number of sampled packets (and hence every
+    // histogram mass) drifted with the worker count. Flow-keyed sampling
+    // makes the sampled count a pure function of the traffic.
+    //
+    // The 48-flow working set stays under the 64-entry flow cache on
+    // every shard: eviction-free, so per-packet latencies are a pure
+    // per-flow function too and the histograms must match bit-for-bit.
+    // (Under eviction pressure per-shard LRU state legitimately varies
+    // with the worker count — the module-level cache caveat.)
+    let (g, _) = cached_flow_program();
+    let params = CostParams::bluefield2();
+    let batch: Vec<Packet> = (0..4_000u64)
+        .map(|i| Packet::with_slots(vec![(i * 7) % 48, 0]))
+        .collect();
+    for sample_every in [2u64, 8, 64] {
+        let mut want: Option<(u64, ExecObservations)> = None;
+        for workers in WORKER_COUNTS {
+            let mut nic =
+                ShardedNic::with_mode(g.clone(), params.clone(), workers, ShardMode::RunLoop)
+                    .unwrap();
+            nic.set_instrumentation(true, sample_every);
+            nic.measure(batch.clone());
+            let sampled = nic.take_profile().total_packets;
+            let obs = nic.take_observations();
+            assert!(sampled > 0, "sample={sample_every}: no packets sampled");
+            match &want {
+                None => want = Some((sampled, obs)),
+                Some((n, o)) => {
+                    assert_eq!(
+                        *n, sampled,
+                        "sample={sample_every} workers={workers}: sampled count drifted"
+                    );
+                    assert_eq!(
+                        *o, obs,
+                        "sample={sample_every} workers={workers}: histograms drifted"
+                    );
+                }
+            }
+        }
+    }
+}

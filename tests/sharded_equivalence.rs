@@ -1,12 +1,15 @@
-//! Determinism/equivalence harness for the sharded datapath: for worker
-//! counts 1, 2, and 8, a [`ShardedNic`] fed the same seeded traffic as a
+//! Determinism/equivalence harness for the bit-exact sharded datapath:
+//! for worker counts 1, 2, and 8, a [`ShardedNic`] in
+//! [`ShardMode::BitExact`] fed the same seeded traffic as a
 //! single-threaded [`SmartNic`] must report bit-identical batch
 //! statistics and a bit-identical merged runtime profile — every edge
 //! counter, every action counter, cache statistics, distinct-key
-//! estimates, and the profile window.
+//! estimates, and the profile window. (The default `RunLoop` mode
+//! intentionally relaxes float summation order; its differential suite
+//! is `tests/runloop_differential.rs`.)
 
 use pipeleon_cost::CostParams;
-use pipeleon_sim::{BatchStats, Packet, ShardedNic, SmartNic};
+use pipeleon_sim::{BatchStats, Packet, ShardMode, ShardedNic, SmartNic};
 use pipeleon_workloads::scenarios::{AclPipeline, DashRouting};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
@@ -76,7 +79,13 @@ fn dash_routing_matches_single_threaded() {
     let params = CostParams::bluefield2();
     for workers in WORKER_COUNTS {
         let mut single = SmartNic::new(dash.graph.clone(), params.clone()).unwrap();
-        let mut sharded = ShardedNic::new(dash.graph.clone(), params.clone(), workers).unwrap();
+        let mut sharded = ShardedNic::with_mode(
+            dash.graph.clone(),
+            params.clone(),
+            workers,
+            ShardMode::BitExact,
+        )
+        .unwrap();
         single.set_instrumentation(true, 16);
         sharded.set_instrumentation(true, 16);
         // Several batches with distinct traffic phases, comparing the
@@ -106,7 +115,13 @@ fn acl_pipeline_matches_single_threaded_with_sampling_one() {
     let params = CostParams::emulated_nic();
     for workers in WORKER_COUNTS {
         let mut single = SmartNic::new(p.graph.clone(), params.clone()).unwrap();
-        let mut sharded = ShardedNic::new(p.graph.clone(), params.clone(), workers).unwrap();
+        let mut sharded = ShardedNic::with_mode(
+            p.graph.clone(),
+            params.clone(),
+            workers,
+            ShardMode::BitExact,
+        )
+        .unwrap();
         single.set_instrumentation(true, 1);
         sharded.set_instrumentation(true, 1);
         let batch: Vec<Packet> = p.traffic(&[0.2, 0.0, 0.1, 0.0], 400, 7).batch(5_000);
@@ -122,7 +137,13 @@ fn uninstrumented_runs_also_match() {
     let params = CostParams::agilio_cx();
     for workers in WORKER_COUNTS {
         let mut single = SmartNic::new(dash.graph.clone(), params.clone()).unwrap();
-        let mut sharded = ShardedNic::new(dash.graph.clone(), params.clone(), workers).unwrap();
+        let mut sharded = ShardedNic::with_mode(
+            dash.graph.clone(),
+            params.clone(),
+            workers,
+            ShardMode::BitExact,
+        )
+        .unwrap();
         let batch: Vec<Packet> = dash.traffic(&[0.1, 0.1, 0.1], 500, 0.0, 3).batch(4_000);
         let ctx = format!("uninstrumented workers={workers}");
         assert_stats_identical(single.measure(batch.clone()), sharded.measure(batch), &ctx);
@@ -147,7 +168,13 @@ fn sharded_histograms_merge_bit_identically() {
         "sampled run must record observations"
     );
     for workers in WORKER_COUNTS {
-        let mut sharded = ShardedNic::new(dash.graph.clone(), params.clone(), workers).unwrap();
+        let mut sharded = ShardedNic::with_mode(
+            dash.graph.clone(),
+            params.clone(),
+            workers,
+            ShardMode::BitExact,
+        )
+        .unwrap();
         sharded.set_instrumentation(true, 8);
         sharded.measure(batch.clone());
         let merged = sharded.take_observations();
@@ -180,7 +207,13 @@ fn process_one_matches_across_worker_counts() {
     let params = CostParams::bluefield2();
     for workers in WORKER_COUNTS {
         let mut single = SmartNic::new(p.graph.clone(), params.clone()).unwrap();
-        let mut sharded = ShardedNic::new(p.graph.clone(), params.clone(), workers).unwrap();
+        let mut sharded = ShardedNic::with_mode(
+            p.graph.clone(),
+            params.clone(),
+            workers,
+            ShardMode::BitExact,
+        )
+        .unwrap();
         single.set_instrumentation(true, 4);
         sharded.set_instrumentation(true, 4);
         for i in 0..200u64 {
