@@ -27,7 +27,7 @@ USAGE:
            [--sample N] [--engine compiled|interp]
            [--batch N] [--profile-out p.json]
            [--metrics-out m.prom|m.json] [--journal-out j.jsonl]
-           [--chaos-seed S [--windows N]]
+           [--live-reconfig] [--chaos-seed S [--windows N]]
   pipeleon metrics  <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--sample N]
            [-o m.prom|m.json]
@@ -374,6 +374,7 @@ fn simulate(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .with_config(config);
         nic.set_engine_mode(engine);
+        nic.set_live_reconfig(args.get_bool("live-reconfig"));
         nic.set_instrumentation(true, sample);
         let stats = nic.measure(batch);
         let (p, o) = (nic.take_profile(), nic.take_observations());
@@ -384,6 +385,7 @@ fn simulate(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .with_config(config);
         nic.set_engine_mode(engine);
+        nic.set_live_reconfig(args.get_bool("live-reconfig"));
         nic.set_instrumentation(true, sample);
         let stats = nic.measure(batch);
         let (p, o) = (nic.take_profile(), SmartNic::take_observations(&mut nic));
@@ -494,6 +496,8 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
         Target,
     };
     nic.set_instrumentation(true, 1);
+    let live = args.get_bool("live-reconfig");
+    nic.set_live_reconfig(live);
     let g = nic.graph().clone();
     let params = nic.params().clone();
     let optimizer = Optimizer::new(CostModel::new(params));
@@ -505,10 +509,29 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
     c.target.set_armed(true);
     let windows = windows.max(1);
     let per_window = (batch.len() / windows).max(1);
-    println!("chaos run: seed {seed}, {windows} windows x {per_window} packets");
+    println!(
+        "chaos run: seed {seed}, {windows} windows x {per_window} packets{}",
+        if live { " (live reconfiguration)" } else { "" }
+    );
+    let (mut offered, mut processed) = (0u64, 0u64);
     for (w, chunk) in batch.chunks(per_window).take(windows).enumerate() {
-        c.target.inner.nic.measure_batch(chunk.to_vec());
-        let r = c.tick().map_err(|e| e.to_string())?;
+        let r = if live {
+            // Keep the measurement window open across the controller
+            // tick: whatever the tick deploys publishes as a generation
+            // swap with the window's traffic genuinely in flight.
+            let mid = chunk.len() / 2;
+            c.target.inner.nic.measure_begin();
+            c.target.inner.nic.measure_feed(chunk[..mid].to_vec());
+            let r = c.tick().map_err(|e| e.to_string())?;
+            c.target.inner.nic.measure_feed(chunk[mid..].to_vec());
+            let s = c.target.inner.nic.measure_end();
+            offered += chunk.len() as u64;
+            processed += s.packets;
+            r
+        } else {
+            c.target.inner.nic.measure_batch(chunk.to_vec());
+            c.tick().map_err(|e| e.to_string())?
+        };
         let h = &r.health;
         let mut line = format!(
             "window {:>2}: change {:>6.3}  {}",
@@ -560,22 +583,30 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
             "DIVERGED"
         }
     );
+    if live {
+        let swaps = c.target.last_swap().map_or(0, |s| s.generation);
+        println!(
+            "live datapath:     {processed} of {offered} packets processed across swaps, \
+             generation {swaps}"
+        );
+    }
     // Fold the injector's op log into the controller's journal so the
-    // postmortem timeline shows faults next to the loop's reactions.
-    let clock = c.clock_s();
-    let injected: Vec<(String, String)> = c
+    // postmortem timeline shows faults next to the loop's reactions —
+    // each at the datapath clock where it fired, so `--journal-out`
+    // interleaves faults with generation swaps on one timeline.
+    let injected: Vec<(f64, String, String)> = c
         .target
         .op_log()
         .iter()
         .filter_map(|r| {
             r.fault
                 .as_ref()
-                .map(|f| (format!("{:?}", r.op), format!("{f:?}")))
+                .map(|f| (r.at_s, format!("{:?}", r.op), format!("{f:?}")))
         })
         .collect();
-    for (op, fault) in injected {
+    for (at_s, op, fault) in injected {
         c.journal_mut()
-            .push(clock, EventKind::FaultInjected { op, fault });
+            .push(at_s, EventKind::FaultInjected { op, fault });
     }
     if let Some(path) = args.get("metrics-out") {
         // Control-loop series plus the datapath histograms the sampled
@@ -589,6 +620,11 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
     }
     if !verified {
         return Err("chaos run ended with the target diverged from controller bookkeeping".into());
+    }
+    if live && processed != offered {
+        return Err(format!(
+            "live reconfiguration lost traffic: {processed} of {offered} packets processed"
+        ));
     }
     Ok(())
 }

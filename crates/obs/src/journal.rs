@@ -79,6 +79,17 @@ pub enum EventKind {
     },
     /// The deploy circuit breaker closed (controller healthy again).
     BreakerClosed,
+    /// A live datapath published a new program generation while traffic
+    /// kept flowing (epoch/RCU swap).
+    GenerationSwap {
+        /// The generation id published.
+        generation: u64,
+        /// Packets in flight at publication (completed under the old
+        /// generation).
+        in_flight: u64,
+        /// Control-plane publish latency in nanoseconds.
+        latency_ns: f64,
+    },
 }
 
 impl EventKind {
@@ -95,6 +106,7 @@ impl EventKind {
             EventKind::WindowProfiled { .. } => "window_profiled",
             EventKind::BreakerOpened { .. } => "breaker_opened",
             EventKind::BreakerClosed => "breaker_closed",
+            EventKind::GenerationSwap { .. } => "generation_swap",
         }
     }
 }
@@ -184,6 +196,16 @@ impl Event {
                 s.push_str(&format!(",\"cooldown_ticks\":{cooldown_ticks}"));
             }
             EventKind::BreakerClosed => {}
+            EventKind::GenerationSwap {
+                generation,
+                in_flight,
+                latency_ns,
+            } => {
+                s.push_str(&format!(
+                    ",\"generation\":{generation},\"in_flight\":{in_flight},\"latency_ns\":{}",
+                    fmt_f64(*latency_ns)
+                ));
+            }
         }
         s.push('}');
         s
@@ -357,6 +379,11 @@ mod tests {
             },
             EventKind::BreakerOpened { cooldown_ticks: 4 },
             EventKind::BreakerClosed,
+            EventKind::GenerationSwap {
+                generation: 3,
+                in_flight: 12,
+                latency_ns: 850.0,
+            },
         ];
         for kind in kinds {
             let tag = kind.tag();

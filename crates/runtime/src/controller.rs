@@ -185,6 +185,9 @@ pub struct Controller<T: Target> {
     metrics: MetricsRegistry,
     /// Accumulated profiling-window time, the journal's clock.
     clock_s: f64,
+    /// Highest live-swap generation already journaled, so each swap the
+    /// target reports is recorded exactly once.
+    last_swap_gen: u64,
 }
 
 /// Per-window facts [`Controller::tick`] surfaces to the journal after
@@ -228,6 +231,7 @@ impl<T: Target> Controller<T> {
             journal,
             metrics,
             clock_s: 0.0,
+            last_swap_gen: 0,
         };
         let (g, j) = (this.last_good.graph.clone(), this.last_good.json.clone());
         this.deploy_transaction(g, &j)?;
@@ -314,6 +318,7 @@ impl<T: Target> Controller<T> {
                 Some(actual) => {
                     if actual == expected {
                         // Verified running — even if the ack was lost.
+                        self.note_swap();
                         return Ok(());
                     }
                     last = Some(match outcome {
@@ -322,7 +327,10 @@ impl<T: Target> Controller<T> {
                     });
                 }
                 None => match outcome {
-                    Ok(()) => return Ok(()),
+                    Ok(()) => {
+                        self.note_swap();
+                        return Ok(());
+                    }
                     Err(e) => last = Some(RuntimeError::Ir(e)),
                 },
             }
@@ -335,6 +343,34 @@ impl<T: Target> Controller<T> {
             Some(other) => Err(other),
             None => unreachable!("at least one attempt always runs"),
         }
+    }
+
+    /// Records the live generation swap a verified deploy just performed,
+    /// if the target reports one it has not journaled yet: a
+    /// `generation_swap` journal event on the controller clock plus the
+    /// swap metrics (publish-latency histogram, active-generation gauge,
+    /// packets-in-flight counter). A no-op on targets without a live
+    /// datapath.
+    fn note_swap(&mut self) {
+        let Some(swap) = self.target.last_swap() else {
+            return;
+        };
+        if swap.generation <= self.last_swap_gen {
+            return;
+        }
+        self.last_swap_gen = swap.generation;
+        self.journal.push(
+            self.clock_s,
+            EventKind::GenerationSwap {
+                generation: swap.generation,
+                in_flight: swap.in_flight,
+                latency_ns: swap.latency_ns,
+            },
+        );
+        let m = &mut self.metrics;
+        m.observe("pipeleon_swap_latency_ns", &[], swap.latency_ns);
+        m.gauge_set("pipeleon_active_generation", &[], swap.generation as f64);
+        m.counter_add("pipeleon_inflight_at_swap_total", &[], swap.in_flight);
     }
 
     /// Deploys the original program and makes it the deployed state.
@@ -1112,6 +1148,18 @@ fn register_help(m: &mut MetricsRegistry) {
     m.help(
         "pipeleon_downtime_s",
         "Service interruption of the last deployment, s",
+    );
+    m.help(
+        "pipeleon_swap_latency_ns",
+        "Publish latency of each live generation swap, ns",
+    );
+    m.help(
+        "pipeleon_active_generation",
+        "Generation id of the live program the datapath runs",
+    );
+    m.help(
+        "pipeleon_inflight_at_swap_total",
+        "Packets in flight at live swap publication (old generation)",
     );
 }
 

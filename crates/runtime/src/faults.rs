@@ -92,6 +92,10 @@ pub struct OpRecord {
     pub op: TargetOp,
     /// The fault injected, or `None` for a clean pass-through.
     pub fault: Option<InjectedFault>,
+    /// The target's datapath clock when the op was intercepted — lets a
+    /// journal interleave faults with traffic-time events (e.g. live
+    /// generation swaps) on one timeline. 0 for clock-less targets.
+    pub at_s: f64,
 }
 
 /// Probabilities of the seeded fault schedule. All probabilities are in
@@ -247,7 +251,8 @@ impl<T: Target> FaultyTarget<T> {
         if fault.is_some() {
             self.injected += 1;
         }
-        self.log.push(OpRecord { op, fault });
+        let at_s = self.inner.target_clock_s();
+        self.log.push(OpRecord { op, fault, at_s });
         fault
     }
 
@@ -410,6 +415,14 @@ impl<T: Target> Target for FaultyTarget<T> {
     /// detect torn deploys.
     fn fingerprint(&self) -> Option<u64> {
         self.inner.fingerprint()
+    }
+
+    fn last_swap(&self) -> Option<crate::target::SwapInfo> {
+        self.inner.last_swap()
+    }
+
+    fn target_clock_s(&self) -> f64 {
+        self.inner.target_clock_s()
     }
 }
 

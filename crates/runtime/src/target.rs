@@ -4,6 +4,21 @@ use pipeleon_cost::RuntimeProfile;
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
 use pipeleon_sim::{NicBackend, SmartNic};
 
+/// What the target reports about its most recent live program swap
+/// (epoch/RCU generation transition) — surfaced by targets whose
+/// datapath supports reconfiguration concurrent with traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapInfo {
+    /// The generation id the swap published (monotone per target).
+    pub generation: u64,
+    /// Packets in flight at publication (they completed under the old
+    /// generation).
+    pub in_flight: u64,
+    /// Wall-clock publish latency in nanoseconds (control-plane cost,
+    /// not downtime).
+    pub latency_ns: f64,
+}
+
 /// A SmartNIC the controller can deploy programs to and profile.
 pub trait Target {
     /// Replaces the running program.
@@ -38,6 +53,18 @@ pub trait Target {
     /// deploys).
     fn fingerprint(&self) -> Option<u64> {
         None
+    }
+    /// The most recent live program swap the target performed, if its
+    /// datapath reconfigures concurrently with traffic. Targets without
+    /// a live datapath (or before the first live deploy) return `None`.
+    fn last_swap(&self) -> Option<SwapInfo> {
+        None
+    }
+    /// The target's datapath clock in seconds, when it has one. Used to
+    /// timestamp control-plane events against traffic time; targets
+    /// without a clock report 0.
+    fn target_clock_s(&self) -> f64 {
+        0.0
     }
 }
 
@@ -132,6 +159,18 @@ impl<N: NicBackend> Target for SimTarget<N> {
 
     fn fingerprint(&self) -> Option<u64> {
         Some(graph_fingerprint(self.nic.graph()))
+    }
+
+    fn last_swap(&self) -> Option<SwapInfo> {
+        self.nic.last_swap().map(|s| SwapInfo {
+            generation: s.generation,
+            in_flight: s.in_flight,
+            latency_ns: s.latency_ns,
+        })
+    }
+
+    fn target_clock_s(&self) -> f64 {
+        self.nic.now_s()
     }
 }
 

@@ -14,6 +14,22 @@ use crate::SmartNic;
 use pipeleon_cost::{CostParams, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
 
+/// What a live program swap looked like from the datapath's side:
+/// recorded by backends at every [`NicBackend::deploy`] that published a
+/// new generation while live reconfiguration was enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveSwap {
+    /// The generation id the deploy published (monotone per backend).
+    pub generation: u64,
+    /// Packets enqueued but not yet processed at the instant of
+    /// publication — they complete under the *old* generation.
+    pub in_flight: u64,
+    /// Wall-clock latency of the publish step itself (validation +
+    /// compile + chain append), in nanoseconds. The datapath never
+    /// stalls for this: it is control-plane latency, not downtime.
+    pub latency_ns: f64,
+}
+
 /// A simulated NIC datapath: program deployment, control-plane entry
 /// management, instrumentation, and line-rate batch measurement.
 pub trait NicBackend {
@@ -88,6 +104,47 @@ pub trait NicBackend {
 
     /// Current simulation time in seconds.
     fn now_s(&self) -> f64;
+
+    /// Enables or disables live reconfiguration: when on, control-plane
+    /// operations publish as generations concurrent with packet flow
+    /// instead of pausing the datapath. Backends without a live mode
+    /// ignore the call (their control plane already runs between
+    /// packets).
+    fn set_live_reconfig(&mut self, _on: bool) {}
+
+    /// Whether live reconfiguration is enabled.
+    fn live_reconfig(&self) -> bool {
+        false
+    }
+
+    /// The most recent live program swap, if any. `None` until the first
+    /// live deploy (and always `None` on backends without a live mode).
+    fn last_swap(&self) -> Option<LiveSwap> {
+        None
+    }
+
+    /// Opens a streaming measurement window (see
+    /// [`NicBackend::measure_feed`]). The default implementation is a
+    /// no-op: backends without a streaming path treat each feed as its
+    /// own batch.
+    fn measure_begin(&mut self) {}
+
+    /// Feeds one chunk of line-rate traffic into the open measurement
+    /// window *without waiting for it to drain* — on a live sharded
+    /// backend, control-plane generations published between feeds land
+    /// genuinely mid-flight. Pacing is continuous across feeds: the
+    /// chunks of one begin/feed/end window measure identically to a
+    /// single `measure_batch` of their concatenation.
+    fn measure_feed(&mut self, packets: Vec<Packet>) {
+        let _ = self.measure_batch(packets);
+    }
+
+    /// Closes the streaming measurement window: waits for every fed
+    /// packet to drain and returns the merged statistics for the whole
+    /// window.
+    fn measure_end(&mut self) -> BatchStats {
+        self.measure_batch(Vec::new())
+    }
 }
 
 impl NicBackend for SmartNic {
@@ -162,5 +219,29 @@ impl NicBackend for SmartNic {
 
     fn now_s(&self) -> f64 {
         SmartNic::now_s(self)
+    }
+
+    fn set_live_reconfig(&mut self, on: bool) {
+        SmartNic::set_live_reconfig(self, on)
+    }
+
+    fn live_reconfig(&self) -> bool {
+        SmartNic::live_reconfig(self)
+    }
+
+    fn last_swap(&self) -> Option<LiveSwap> {
+        SmartNic::last_swap(self)
+    }
+
+    fn measure_begin(&mut self) {
+        SmartNic::measure_begin(self)
+    }
+
+    fn measure_feed(&mut self, packets: Vec<Packet>) {
+        SmartNic::measure_feed(self, packets)
+    }
+
+    fn measure_end(&mut self) -> BatchStats {
+        SmartNic::measure_end(self)
     }
 }

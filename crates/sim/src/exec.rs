@@ -299,6 +299,39 @@ impl Executor {
         Ok(())
     }
 
+    /// Adopts an already-validated program as a live generation swap.
+    /// Unlike [`Executor::deploy`], the pending profile window, sampled
+    /// observations, distinct-key sets, flow sequence counts, packet
+    /// sequence, placements, memory tiers, engine mode, and
+    /// instrumentation all carry across the swap — the profile window
+    /// spans generations, keyed by the (stable) node ids both layouts
+    /// share. Match engines and flow-cache runtime state are rebuilt
+    /// (the new layout's tables define them); `compiled` installs the
+    /// caller's pre-built pipeline so every shard adopting the same
+    /// generation shares one lowering instead of re-compiling.
+    ///
+    /// The caller (a generation chain publisher) has already validated
+    /// `graph` on its control replica, so this never fails.
+    pub(crate) fn adopt_graph(&mut self, graph: ProgramGraph, compiled: Option<CompiledPipeline>) {
+        self.graph = graph;
+        self.rebuild_all();
+        self.compiled = compiled;
+    }
+
+    /// A clone of the compiled pipeline for the current graph, built on
+    /// demand — what a generation publisher attaches to a `Deploy` node
+    /// when the compiled engine is active (`None` under the interpreter:
+    /// adopters then lower lazily like any fresh executor).
+    pub(crate) fn compiled_clone(&mut self) -> Option<CompiledPipeline> {
+        match self.mode {
+            EngineMode::Compiled => {
+                self.ensure_compiled();
+                self.compiled.clone()
+            }
+            EngineMode::Interpreter => None,
+        }
+    }
+
     /// Enables P4-counter instrumentation, updating counters for one in
     /// `sample_every` packets (1 = every packet; §5.4.1 uses 1/1024).
     pub fn set_instrumentation(&mut self, enabled: bool, sample_every: u64) {

@@ -1,0 +1,184 @@
+//! The epoch/RCU generation chain behind live reconfiguration.
+//!
+//! When a [`crate::ShardedNic`] runs with live reconfiguration enabled,
+//! control-plane operations no longer fan out to every shard under its
+//! lock (which would serialize the control plane against packet
+//! execution). Instead the dispatcher *publishes* each operation as a
+//! numbered generation onto a shared [`GenChain`]; every work item it
+//! subsequently dispatches is tagged with the latest generation id, and
+//! a shard *adopts* pending generations lazily — the first packet of a
+//! burst tagged with a newer generation walks the chain and applies
+//! every publication it has not seen yet, in publication order, before
+//! any packet of that burst executes.
+//!
+//! This gives the RCU structure its grace-period shape without a single
+//! stop-the-world point:
+//!
+//! * **Publish**: the dispatcher appends a [`GenNode`] (a full program
+//!   deploy or an entry-op delta) and bumps `latest`. Publication
+//!   happens-before dispatch on the dispatcher thread, and the SPSC
+//!   ring's release/acquire hand-off carries that edge to the workers —
+//!   a worker that dequeues an item tagged `g` is guaranteed to see
+//!   every chain node with id ≤ `g`.
+//! * **Adopt**: shards move forward only (`adopt_to` is monotone), so a
+//!   packet is executed by exactly the generation it was dispatched
+//!   under — never a torn half-applied state, never an older one.
+//! * **Reclaim**: once every shard's *adopted* watermark has passed a
+//!   node it can never be read again and is popped from the chain. The
+//!   dispatcher reclaims opportunistically at publish time and
+//!   exhaustively at quiescence (`wait_idle`), so the chain is empty in
+//!   steady state and memory stays bounded under swap storms.
+
+use crate::compiled::CompiledPipeline;
+use pipeleon_ir::{NextHops, NodeId, ProgramGraph, Table, TableEntry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An entry-op delta applied to the live generation. Control has already
+/// validated the operation against its replica before publishing, so
+/// shard-side application is infallible by construction.
+#[derive(Debug, Clone)]
+pub(crate) enum PatchOp {
+    /// `insert_entry(node, entry)`.
+    Insert { node: NodeId, entry: TableEntry },
+    /// `remove_entry(node, index)`.
+    Remove { node: NodeId, index: usize },
+    /// `replace_table(node, table, next)`.
+    Replace {
+        node: NodeId,
+        table: Table,
+        next: Option<NextHops>,
+    },
+}
+
+/// What a generation publishes: a whole-program swap or a delta.
+#[derive(Debug)]
+pub(crate) enum GenKind {
+    /// A full program swap. Carries the pre-built compiled pipeline (when
+    /// the compiled engine is active) so shards adopt by cloning instead
+    /// of each re-lowering the program on the datapath.
+    Deploy {
+        graph: ProgramGraph,
+        compiled: Option<CompiledPipeline>,
+    },
+    /// An entry-op delta against the previous generation's program.
+    Patch(PatchOp),
+}
+
+/// One published generation.
+#[derive(Debug)]
+pub(crate) struct GenNode {
+    /// Monotone generation id; ids are dense (latest id = chain length +
+    /// reclaimed prefix).
+    pub id: u64,
+    pub kind: GenKind,
+}
+
+/// The shared publication chain. The dispatcher is the only publisher;
+/// shards read pending spans under the mutex when they adopt.
+#[derive(Debug)]
+pub(crate) struct GenChain {
+    nodes: Mutex<VecDeque<Arc<GenNode>>>,
+    /// Highest published generation id (0 = the construction-time
+    /// program, which is never on the chain).
+    latest: AtomicU64,
+}
+
+impl GenChain {
+    pub fn new() -> Self {
+        Self {
+            nodes: Mutex::new(VecDeque::new()),
+            latest: AtomicU64::new(0),
+        }
+    }
+
+    /// Highest published generation id.
+    pub fn latest(&self) -> u64 {
+        self.latest.load(Ordering::Acquire)
+    }
+
+    /// Appends a new generation and returns its id.
+    pub fn publish(&self, kind: GenKind) -> u64 {
+        let mut nodes = self.nodes.lock().expect("generation chain poisoned");
+        let id = self.latest.load(Ordering::Acquire) + 1;
+        nodes.push_back(Arc::new(GenNode { id, kind }));
+        self.latest.store(id, Ordering::Release);
+        id
+    }
+
+    /// The pending span `(from, to]` in publication order — everything a
+    /// shard at generation `from` must apply to reach `to`.
+    pub fn pending(&self, from: u64, to: u64) -> Vec<Arc<GenNode>> {
+        let nodes = self.nodes.lock().expect("generation chain poisoned");
+        nodes
+            .iter()
+            .filter(|n| n.id > from && n.id <= to)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops every node with id ≤ `min_adopted` (no shard can ever read
+    /// them again).
+    pub fn reclaim(&self, min_adopted: u64) {
+        let mut nodes = self.nodes.lock().expect("generation chain poisoned");
+        while nodes.front().is_some_and(|n| n.id <= min_adopted) {
+            nodes.pop_front();
+        }
+    }
+
+    /// Unreclaimed chain length (test/debug visibility).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.nodes.lock().expect("generation chain poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeleon_ir::MatchValue;
+
+    fn patch(v: u64) -> GenKind {
+        GenKind::Patch(PatchOp::Insert {
+            node: NodeId(0),
+            entry: TableEntry::new(vec![MatchValue::Exact(v)], 0),
+        })
+    }
+
+    #[test]
+    fn publish_numbers_generations_densely() {
+        let c = GenChain::new();
+        assert_eq!(c.latest(), 0);
+        assert_eq!(c.publish(patch(1)), 1);
+        assert_eq!(c.publish(patch(2)), 2);
+        assert_eq!(c.latest(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn pending_returns_the_half_open_span_in_order() {
+        let c = GenChain::new();
+        for v in 0..5 {
+            c.publish(patch(v));
+        }
+        let span = c.pending(1, 4);
+        assert_eq!(span.iter().map(|n| n.id).collect::<Vec<_>>(), [2, 3, 4]);
+        assert!(c.pending(4, 4).is_empty());
+    }
+
+    #[test]
+    fn reclaim_drops_only_the_adopted_prefix() {
+        let c = GenChain::new();
+        for v in 0..4 {
+            c.publish(patch(v));
+        }
+        c.reclaim(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.pending(0, 4).first().unwrap().id, 3);
+        c.reclaim(4);
+        assert_eq!(c.len(), 0);
+        // Ids keep counting after a full reclaim.
+        assert_eq!(c.publish(patch(9)), 5);
+    }
+}

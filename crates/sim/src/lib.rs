@@ -51,12 +51,22 @@
 //! via flow-keyed sampling ([`SampleKeying`]) — worker-count-invariant
 //! window-merged profiles and histograms, relaxing only the float
 //! summation order of mean latency and throughput.
+//!
+//! With **live reconfiguration** enabled
+//! ([`NicBackend::set_live_reconfig`]), control-plane operations publish
+//! as numbered generations on an epoch/RCU chain instead of pausing the
+//! datapath: packets in flight keep executing under the generation they
+//! were dispatched with, newly dispatched packets pick up the new one,
+//! and old generations are reclaimed once every shard has quiesced past
+//! them. Each swap is reported through [`LiveSwap`] (generation id,
+//! packets in flight at publication, publish latency).
 
 pub mod backend;
 pub mod cache;
 mod compiled;
 pub mod engine;
 pub mod exec;
+mod generation;
 pub mod nic;
 pub mod observe;
 pub mod packet;
@@ -64,7 +74,7 @@ pub mod ring;
 pub mod sharded;
 pub mod smallkey;
 
-pub use backend::NicBackend;
+pub use backend::{LiveSwap, NicBackend};
 pub use cache::{LruCache, RateLimiter};
 pub use engine::{KeyScratch, LookupOutcome, MatchEngine};
 pub use exec::{EngineMode, ExecReport, Executor, PacketTrace, SampleKeying};

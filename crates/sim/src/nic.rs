@@ -7,10 +7,12 @@
 //! busy time)`, capping at line rate exactly when the cores keep up — the
 //! same observable the paper's TRex measurements produce.
 
+use crate::backend::LiveSwap;
 use crate::exec::{EngineMode, ExecReport, Executor, PacketTrace, SampleKeying};
 use crate::packet::Packet;
 use pipeleon_cost::{CostParams, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NodeId, ProgramGraph, TableEntry};
+use std::time::Instant;
 
 /// How the sharded datapath ([`ShardedNic`](crate::ShardedNic))
 /// coordinates its workers.
@@ -226,6 +228,31 @@ impl BatchStats {
 pub struct SmartNic {
     exec: Executor,
     config: NicConfig,
+    /// Whether live reconfiguration is enabled (deploys adopt the new
+    /// program in place, preserving the pending profile window — the
+    /// single-threaded reference for the sharded live datapath).
+    live: bool,
+    /// Monotone live-deploy counter (the single-threaded analogue of the
+    /// sharded generation chain's ids, counting deploys only).
+    generation: u64,
+    /// The most recent live swap (telemetry).
+    last_swap: Option<LiveSwap>,
+    /// Open streaming measurement window, if any.
+    measuring: Option<SmartMeasure>,
+}
+
+/// An open streaming measurement window on a [`SmartNic`] (between
+/// `measure_begin` and `measure_end`). Pacing continues across feeds, so
+/// a begin/feed*/end window is bit-identical to one `measure` call over
+/// the concatenated traffic.
+#[derive(Debug)]
+struct SmartMeasure {
+    batch_start_s: f64,
+    line_pps: f64,
+    cores: usize,
+    offered_gbps: f64,
+    records: Vec<PacketRecord>,
+    n: u64,
 }
 
 impl SmartNic {
@@ -234,6 +261,10 @@ impl SmartNic {
         Ok(Self {
             exec: Executor::new(graph, params)?,
             config: NicConfig::default(),
+            live: false,
+            generation: 0,
+            last_swap: None,
+            measuring: None,
         })
     }
 
@@ -258,9 +289,45 @@ impl SmartNic {
         &mut self.exec
     }
 
-    /// Live-reconfigures the NIC with a new program layout.
+    /// Live-reconfigures the NIC with a new program layout. With live
+    /// reconfiguration enabled ([`SmartNic::set_live_reconfig`]), the
+    /// swap *adopts* the new program in place: the pending profile
+    /// window, sampled observations, flow sequence counts, placements,
+    /// and instrumentation carry across — exactly the semantics each
+    /// shard of a live [`crate::ShardedNic`] applies when it adopts a
+    /// published generation, making this NIC the single-threaded
+    /// reference for live-reconfiguration differentials. Without live
+    /// mode, the classic deploy resets the profile window.
     pub fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        if self.live {
+            let t0 = Instant::now();
+            graph.validate()?;
+            self.exec.adopt_graph(graph, None);
+            self.generation += 1;
+            self.last_swap = Some(LiveSwap {
+                generation: self.generation,
+                // Single-threaded: nothing is ever in flight at a swap.
+                in_flight: 0,
+                latency_ns: t0.elapsed().as_nanos() as f64,
+            });
+            return Ok(());
+        }
         self.exec.deploy(graph)
+    }
+
+    /// Enables or disables live reconfiguration (swap-in-place deploys).
+    pub fn set_live_reconfig(&mut self, on: bool) {
+        self.live = on;
+    }
+
+    /// Whether live reconfiguration is enabled.
+    pub fn live_reconfig(&self) -> bool {
+        self.live
+    }
+
+    /// The most recent live program swap, if any.
+    pub fn last_swap(&self) -> Option<LiveSwap> {
+        self.last_swap
     }
 
     /// Inserts a table entry (control-plane API).
@@ -373,25 +440,47 @@ impl SmartNic {
     where
         I: IntoIterator<Item = Packet>,
     {
-        let cores = self.exec.params().num_cores.max(1);
-        let line_pps = self.exec.params().line_rate_pps(self.config.packet_bytes);
-        let offered_gbps = self.exec.params().line_rate_gbps;
-        let batch_start_s = self.exec.now_s;
-        let mut records: Vec<PacketRecord> = Vec::new();
-        let mut n = 0u64;
+        self.measure_begin();
+        self.measure_feed(packets);
+        self.measure_end()
+    }
+
+    /// Opens a streaming measurement window (snapshotting the pacing
+    /// parameters and the window's start time).
+    pub fn measure_begin(&mut self) {
+        debug_assert!(self.measuring.is_none(), "measurement window already open");
+        self.measuring = Some(SmartMeasure {
+            batch_start_s: self.exec.now_s,
+            line_pps: self.exec.params().line_rate_pps(self.config.packet_bytes),
+            cores: self.exec.params().num_cores.max(1),
+            offered_gbps: self.exec.params().line_rate_gbps,
+            records: Vec::new(),
+            n: 0,
+        });
+    }
+
+    /// Feeds one chunk into the open measurement window; pacing
+    /// continues from the previous feed, so control-plane operations
+    /// between feeds land at chunk boundaries of one continuous
+    /// arrival schedule.
+    pub fn measure_feed<I>(&mut self, packets: I)
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        let stream = self.measuring.as_mut().expect("measure_begin first");
         for mut pkt in packets {
             // Arrival pacing drives the simulation clock (rate limiters,
             // phase timing).
-            self.exec.now_s = batch_start_s + n as f64 / line_pps;
-            let core = (pkt.flow_hash() % cores as u64) as usize;
+            self.exec.now_s = stream.batch_start_s + stream.n as f64 / stream.line_pps;
+            let core = (pkt.flow_hash() % stream.cores as u64) as usize;
             let bytes = if pkt.bytes > 0 {
                 pkt.bytes
             } else {
                 self.config.packet_bytes
             };
             let r = self.exec.process(&mut pkt);
-            records.push(PacketRecord {
-                arrival: n,
+            stream.records.push(PacketRecord {
+                arrival: stream.n,
                 core,
                 latency_ns: r.latency_ns,
                 dropped: r.dropped,
@@ -399,13 +488,24 @@ impl SmartNic {
                 counter_updates: r.counter_updates as u64,
                 bits: (bytes * 8) as f64,
             });
-            n += 1;
+            stream.n += 1;
         }
-        if n > 0 {
-            let arrival_ns = n as f64 / line_pps * 1e9;
-            self.exec.now_s = batch_start_s + arrival_ns / 1e9;
+    }
+
+    /// Closes the measurement window, advancing the clock to the
+    /// window's end and returning the merged statistics.
+    pub fn measure_end(&mut self) -> BatchStats {
+        let stream = self.measuring.take().expect("measure_begin first");
+        if stream.n > 0 {
+            let arrival_ns = stream.n as f64 / stream.line_pps * 1e9;
+            self.exec.now_s = stream.batch_start_s + arrival_ns / 1e9;
         }
-        BatchStats::from_records(&records, cores, line_pps, offered_gbps)
+        BatchStats::from_records(
+            &stream.records,
+            stream.cores,
+            stream.line_pps,
+            stream.offered_gbps,
+        )
     }
 
     /// Convenience: measures the mean per-packet latency of a batch

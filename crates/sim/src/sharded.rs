@@ -63,11 +63,46 @@
 //! [`SmartNic`](crate::SmartNic) for any worker count, at the cost of a
 //! full sort + barrier per batch.
 //!
-//! Control-plane operations (`insert_entry`, `remove_entry`,
-//! `replace_table`, `deploy`, cache management) fan out to every shard so
-//! all workers always run the same program. They run strictly between
-//! batches (rings are always drained before a public call returns), so
-//! they are never concurrent with packet execution.
+//! # Control plane: fan-out vs. live reconfiguration
+//!
+//! By default, control-plane operations (`insert_entry`, `remove_entry`,
+//! `replace_table`, `deploy`, cache management) fan out to every shard
+//! under its lock so all workers always run the same program — simple,
+//! but the control plane serializes against packet execution at burst
+//! granularity.
+//!
+//! With **live reconfiguration** enabled (`set_live_reconfig(true)`, in
+//! `RunLoop` mode), program-changing operations instead *publish* as
+//! numbered generations on an epoch/RCU chain (`GenChain` in
+//! `generation.rs`) without touching any shard lock:
+//! `deploy` publishes a whole-program swap (with a pre-built compiled
+//! pipeline the shards adopt by cloning), entry ops publish deltas, and
+//! every dispatched packet is tagged with the generation current at
+//! dispatch. A shard adopts pending generations lazily when the first
+//! packet tagged with a newer one reaches it, so:
+//!
+//! - **No torn reads**: a packet executes under exactly the generation
+//!   it was dispatched with — adoption is monotone and happens *between*
+//!   packets, never mid-packet.
+//! - **No drops or stalls**: publication never blocks the datapath, and
+//!   in-flight packets complete under their old generation.
+//! - **Worker-count-invariant attribution**: the generation tag is a
+//!   pure function of the packet's position in the arrival stream
+//!   relative to the publishes, so per-generation packet counts (and,
+//!   with flow-keyed sampling, merged profiles) are identical for any
+//!   worker count.
+//!
+//! Quiescence is detected at `wait_idle` (every public call that drains
+//! the rings): drained shards are fast-forwarded to the latest
+//! generation and the chain prefix every shard has adopted is reclaimed,
+//! so the chain is empty in steady state. In `BitExact` mode live
+//! reconfiguration falls back to synchronous fan-out (the oracle runs
+//! fork-join batches, so shards are idle whenever control runs).
+//!
+//! Non-program operations (instrumentation, placement, engine mode,
+//! cache flushes/limits) always fan out: they mutate shard-local runtime
+//! state, and the shard mutex serializes them at burst granularity
+//! without tearing any packet.
 //!
 //! Caveat (both modes): flow-cache *runtime state* is shard-local. Each
 //! shard has its own LRU of the configured capacity and its own insertion
@@ -77,18 +112,21 @@
 //! without flow caches, and for cached programs whose working set and
 //! insertion rate stay under the per-shard limits.
 
-use crate::backend::NicBackend;
+use crate::backend::{LiveSwap, NicBackend};
 use crate::exec::{EngineMode, ExecReport, Executor, SampleKeying};
+use crate::generation::{GenChain, GenKind, PatchOp};
 use crate::nic::{BatchStats, NicConfig, PacketRecord, ShardMode};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::ring;
+use fxhash::FxHashMap;
 use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle, Thread};
+use std::time::Instant;
 
 /// Total in-flight ring slots across all shards. Per-shard capacity is
 /// this divided by the worker count (clamped to
@@ -122,6 +160,11 @@ struct WorkItem {
     /// Position in the caller's input slice (`process_batch` scatter);
     /// unused by measurement batches.
     idx: u32,
+    /// The generation current when the dispatcher staged this packet.
+    /// The shard adopts pending generations up to this id before
+    /// executing the packet — so attribution is a pure function of
+    /// stream position, independent of worker count and timing.
+    gen: u64,
     pkt: Packet,
 }
 
@@ -188,10 +231,66 @@ struct ShardState {
     /// Consumer side of the shard's SPSC ring; `Some` iff run-loop
     /// workers are live.
     rx: Option<ring::Consumer<WorkItem>>,
+    /// Generation this shard has adopted (0 = the construction-time
+    /// program). Monotone; see [`ShardState::adopt_to`].
+    gen: u64,
+    /// Whether live reconfiguration is on (mirrors the dispatcher's
+    /// flag; gates per-generation accounting off the non-live hot path).
+    live: bool,
+    /// Packets executed per generation since live reconfiguration was
+    /// enabled — the "every packet attributable to exactly one
+    /// generation" ledger.
+    gen_packets: FxHashMap<u64, u64>,
+    /// The shared publication chain (same `Arc` on every shard and the
+    /// dispatcher).
+    chain: Arc<GenChain>,
 }
 
 impl ShardState {
+    /// Applies every generation in `(self.gen, target]`, in publication
+    /// order, then records the new watermark. Patches older than the
+    /// last full deploy in the span are superseded by it (the deploy
+    /// carries the whole already-patched program), so adoption starts at
+    /// that deploy. Forward-only: a fast-forwarded shard never re-applies
+    /// or rolls back.
+    fn adopt_to(&mut self, target: u64) {
+        if target <= self.gen {
+            return;
+        }
+        let span = self.chain.pending(self.gen, target);
+        let start = span
+            .iter()
+            .rposition(|n| matches!(n.kind, GenKind::Deploy { .. }))
+            .unwrap_or(0);
+        for node in &span[start..] {
+            match &node.kind {
+                GenKind::Deploy { graph, compiled } => {
+                    self.exec.adopt_graph(graph.clone(), compiled.clone());
+                }
+                // Control validated each patch on its replica before
+                // publishing, and every shard holds the same program, so
+                // shard-side application cannot fail.
+                GenKind::Patch(PatchOp::Insert { node, entry }) => {
+                    let _ = self.exec.insert_entry(*node, entry.clone());
+                }
+                GenKind::Patch(PatchOp::Remove { node, index }) => {
+                    let _ = self.exec.remove_entry(*node, *index);
+                }
+                GenKind::Patch(PatchOp::Replace { node, table, next }) => {
+                    let _ = self.exec.replace_table(*node, table.clone(), next.clone());
+                }
+            }
+        }
+        self.gen = target;
+    }
+
     fn run_item(&mut self, item: &mut WorkItem) {
+        if item.gen > self.gen {
+            self.adopt_to(item.gen);
+        }
+        if self.live {
+            *self.gen_packets.entry(self.gen).or_insert(0) += 1;
+        }
         match self.ctx {
             BatchCtx::Forward => {
                 let r = self.exec.process(&mut item.pkt);
@@ -239,6 +338,11 @@ struct ShardCell {
     /// dispatcher compares it against its own enqueue count to detect
     /// batch drain.
     processed: AtomicU64,
+    /// Mirror of the shard's adopted generation, published after each
+    /// drained burst. Never ahead of `ShardState::gen`, so the chain
+    /// prefix `≤ min(adopted)` is provably unreachable and safe to
+    /// reclaim.
+    adopted: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -249,6 +353,26 @@ struct ShardCell {
 struct MergeScratch {
     core_busy_ns: Vec<f64>,
     latencies: Vec<f64>,
+}
+
+/// An open streaming measurement window (between `measure_begin` and
+/// `measure_end`). Pacing parameters are snapshotted at `begin` so every
+/// fed chunk continues the same arrival schedule — a begin/feed*/end
+/// window measures identically to one `measure` call over the
+/// concatenated traffic.
+#[derive(Debug)]
+struct MeasureStream {
+    batch_start_s: f64,
+    line_pps: f64,
+    cores: usize,
+    default_bytes: usize,
+    offered_gbps: f64,
+    /// Packets fed so far.
+    n: u64,
+    /// `BitExact` only: per-packet records accumulated across feeds.
+    records: Vec<PacketRecord>,
+    /// `BitExact` only: global sequence base of the window.
+    base_seq: u64,
 }
 
 /// Live run-loop worker machinery (present iff mode is `RunLoop`).
@@ -319,6 +443,7 @@ fn drain_burst(cell: &ShardCell, buf: &mut Vec<WorkItem>) -> usize {
         total += n;
     }
     if total > 0 {
+        cell.adopted.store(st.gen, Ordering::Release);
         cell.processed.fetch_add(total as u64, Ordering::Release);
     }
     total
@@ -390,6 +515,17 @@ pub struct ShardedNic {
     now_s: f64,
     /// Clock value at the last `take_profile` (profile window start).
     last_take_s: f64,
+    /// The generation publication chain (shared with every shard).
+    chain: Arc<GenChain>,
+    /// Whether live reconfiguration is enabled.
+    live: bool,
+    /// Cached `chain.latest()` — the dispatcher is the sole publisher,
+    /// so its cache is always exact; work items are tagged with it.
+    latest_gen: u64,
+    /// The most recent live program swap (telemetry).
+    last_swap: Option<LiveSwap>,
+    /// Open streaming measurement window, if any.
+    measuring: Option<MeasureStream>,
 }
 
 impl ShardedNic {
@@ -407,6 +543,7 @@ impl ShardedNic {
         mode: ShardMode,
     ) -> Result<Self, IrError> {
         let workers = workers.max(1);
+        let chain = Arc::new(GenChain::new());
         let mut shards = Vec::with_capacity(workers);
         for _ in 0..workers {
             let mut exec = Executor::new(graph.clone(), params.clone())?;
@@ -419,8 +556,13 @@ impl ShardedNic {
                     out: Vec::new(),
                     local_idx: 0,
                     rx: None,
+                    gen: 0,
+                    live: false,
+                    gen_packets: FxHashMap::default(),
+                    chain: Arc::clone(&chain),
                 }),
                 processed: AtomicU64::new(0),
+                adopted: AtomicU64::new(0),
                 stop: AtomicBool::new(false),
             }));
         }
@@ -444,6 +586,11 @@ impl ShardedNic {
             seq: 0,
             now_s: 0.0,
             last_take_s: 0.0,
+            chain,
+            live: false,
+            latest_gen: 0,
+            last_swap: None,
+            measuring: None,
         };
         if mode == ShardMode::RunLoop {
             nic.spawn_workers();
@@ -558,9 +705,59 @@ impl ShardedNic {
                 }
             }
             if all_drained {
-                return;
+                break;
             }
         }
+        if self.live {
+            // Quiescence: every ring is drained, so fast-forwarding a
+            // shard cannot skip a generation an in-flight packet still
+            // needs — there are none. This is the RCU grace-period end:
+            // all shards reach `latest_gen`, the whole chain prefix
+            // becomes unreachable, and reclaiming it bounds memory under
+            // swap storms. It also zeroes executor deltas (cache stats
+            // reset at adoption) identically on every shard, keeping
+            // window merges worker-count-invariant even when some shards
+            // saw no post-swap packets.
+            let latest = self.latest_gen;
+            debug_assert_eq!(
+                latest,
+                self.chain.latest(),
+                "dispatcher is the sole publisher, so its cache is exact"
+            );
+            for cell in &self.shards {
+                let mut st = cell.state.lock().expect("shard state poisoned");
+                st.adopt_to(latest);
+                cell.adopted.store(st.gen, Ordering::Release);
+            }
+            self.chain.reclaim(latest);
+        }
+    }
+
+    /// Packets enqueued to shard rings but not yet processed.
+    fn in_flight(&self) -> u64 {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, c)| self.enqueued[i] - c.processed.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Drops every chain node all shards have provably adopted (called
+    /// opportunistically at publish time; `wait_idle` reclaims the rest).
+    fn reclaim_adopted(&self) {
+        let min = self
+            .shards
+            .iter()
+            .map(|c| c.adopted.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        self.chain.reclaim(min);
+    }
+
+    /// Whether this operation should publish on the generation chain
+    /// instead of fanning out under the shard locks.
+    fn publishes_live(&self) -> bool {
+        self.live && self.mode == ShardMode::RunLoop
     }
 
     /// Number of worker shards.
@@ -600,8 +797,72 @@ impl ShardedNic {
         self.now_s
     }
 
-    /// Live-reconfigures every shard with a new program layout.
+    /// Enables or disables live reconfiguration (see the module docs).
+    /// Drains in-flight work first so the mode flip itself is never
+    /// concurrent with packets dispatched under the old regime.
+    pub fn set_live_reconfig(&mut self, on: bool) {
+        if self.live == on {
+            return;
+        }
+        if self.run.is_some() {
+            self.wait_idle();
+        }
+        self.live = on;
+        for cell in &self.shards {
+            let mut st = cell.state.lock().expect("shard state poisoned");
+            st.live = on;
+        }
+    }
+
+    /// Whether live reconfiguration is enabled.
+    pub fn live_reconfig(&self) -> bool {
+        self.live
+    }
+
+    /// The most recent live program swap, if any.
+    pub fn last_swap(&self) -> Option<LiveSwap> {
+        self.last_swap
+    }
+
+    /// Packets executed per generation since live reconfiguration was
+    /// enabled, merged across shards. Each packet is counted under
+    /// exactly one generation — the one it was dispatched with — so the
+    /// counts sum to the packets processed and are identical for any
+    /// worker count.
+    pub fn generation_counts(&self) -> BTreeMap<u64, u64> {
+        let mut merged = BTreeMap::new();
+        for cell in &self.shards {
+            let st = cell.state.lock().expect("shard state poisoned");
+            for (&g, &c) in &st.gen_packets {
+                *merged.entry(g).or_insert(0) += c;
+            }
+        }
+        merged
+    }
+
+    /// Live-reconfigures every shard with a new program layout. With
+    /// live reconfiguration on (`RunLoop` mode) this *publishes* a new
+    /// generation concurrent with packet flow — no shard lock is taken,
+    /// in-flight packets complete under the old program — and records
+    /// the swap ([`ShardedNic::last_swap`]). Otherwise it fans out to
+    /// every shard synchronously.
     pub fn deploy(&mut self, graph: ProgramGraph) -> Result<(), IrError> {
+        if self.publishes_live() {
+            let t0 = Instant::now();
+            self.control.deploy(graph.clone())?;
+            // Build the compiled pipeline once, centrally: adopters
+            // clone it instead of each lowering the program mid-burst.
+            let compiled = self.control.compiled_clone();
+            let id = self.chain.publish(GenKind::Deploy { graph, compiled });
+            self.latest_gen = id;
+            self.last_swap = Some(LiveSwap {
+                generation: id,
+                in_flight: self.in_flight(),
+                latency_ns: t0.elapsed().as_nanos() as f64,
+            });
+            self.reclaim_adopted();
+            return Ok(());
+        }
         let mut out = self.control.deploy(graph.clone());
         for cell in &self.shards {
             let mut st = cell.state.lock().expect("shard state poisoned");
@@ -615,7 +876,17 @@ impl ShardedNic {
     /// Inserts a table entry on every shard (control-plane API). All
     /// shards hold identical graphs, so the operation either succeeds or
     /// fails identically everywhere; the last shard's result is returned.
+    /// With live reconfiguration on, a validated insert publishes as a
+    /// delta generation instead of pausing the datapath.
     pub fn insert_entry(&mut self, node: NodeId, entry: TableEntry) -> Result<(), IrError> {
+        if self.publishes_live() {
+            self.control.insert_entry(node, entry.clone())?;
+            self.latest_gen = self
+                .chain
+                .publish(GenKind::Patch(PatchOp::Insert { node, entry }));
+            self.reclaim_adopted();
+            return Ok(());
+        }
         let mut out = self.control.insert_entry(node, entry.clone());
         for cell in &self.shards {
             let mut st = cell.state.lock().expect("shard state poisoned");
@@ -627,7 +898,16 @@ impl ShardedNic {
     }
 
     /// Removes a table entry by index on every shard (control-plane API).
+    /// Publishes as a delta generation under live reconfiguration.
     pub fn remove_entry(&mut self, node: NodeId, index: usize) -> Result<TableEntry, IrError> {
+        if self.publishes_live() {
+            let removed = self.control.remove_entry(node, index)?;
+            self.latest_gen = self
+                .chain
+                .publish(GenKind::Patch(PatchOp::Remove { node, index }));
+            self.reclaim_adopted();
+            return Ok(removed);
+        }
         let mut out = self.control.remove_entry(node, index);
         for cell in &self.shards {
             let mut st = cell.state.lock().expect("shard state poisoned");
@@ -636,13 +916,23 @@ impl ShardedNic {
         out
     }
 
-    /// Replaces a table definition in place on every shard.
+    /// Replaces a table definition in place on every shard. Publishes as
+    /// a delta generation under live reconfiguration.
     pub fn replace_table(
         &mut self,
         node: NodeId,
         table: Table,
         next: Option<NextHops>,
     ) -> Result<(), IrError> {
+        if self.publishes_live() {
+            self.control
+                .replace_table(node, table.clone(), next.clone())?;
+            self.latest_gen =
+                self.chain
+                    .publish(GenKind::Patch(PatchOp::Replace { node, table, next }));
+            self.reclaim_adopted();
+            return Ok(());
+        }
         let mut out = self
             .control
             .replace_table(node, table.clone(), next.clone());
@@ -749,6 +1039,7 @@ impl ShardedNic {
             "process_batch is limited to u32::MAX packets"
         );
         let nw = self.shards.len();
+        let gen = self.latest_gen;
         for cell in &self.shards {
             let mut st = cell.state.lock().expect("shard state poisoned");
             st.ctx = BatchCtx::Forward;
@@ -758,7 +1049,14 @@ impl ShardedNic {
         self.dispatch(packets.iter_mut().enumerate().map(|(i, slot)| {
             let pkt = std::mem::replace(slot, Packet::with_slots(Vec::new()));
             let shard = (pkt.flow_hash() % nw as u64) as usize;
-            (shard, WorkItem { idx: i as u32, pkt })
+            (
+                shard,
+                WorkItem {
+                    idx: i as u32,
+                    gen,
+                    pkt,
+                },
+            )
         }));
         self.wait_idle();
         self.seq += packets.len() as u64;
@@ -830,10 +1128,16 @@ impl ShardedNic {
     /// reports match a flow-keyed single-threaded run instead.
     pub fn process_one(&mut self, packet: &mut Packet) -> ExecReport {
         let shard = (packet.flow_hash() % self.shards.len() as u64) as usize;
-        let mut st = self.shards[shard]
-            .state
-            .lock()
-            .expect("shard state poisoned");
+        let cell = &self.shards[shard];
+        let mut st = cell.state.lock().expect("shard state poisoned");
+        if self.live {
+            if self.latest_gen > st.gen {
+                st.adopt_to(self.latest_gen);
+                cell.adopted.store(st.gen, Ordering::Release);
+            }
+            let g = st.gen;
+            *st.gen_packets.entry(g).or_insert(0) += 1;
+        }
         st.exec.now_s = self.now_s;
         if self.mode == ShardMode::BitExact {
             st.exec.set_packet_seq(self.seq);
@@ -892,41 +1196,94 @@ impl ShardedNic {
     where
         I: IntoIterator<Item = Packet>,
     {
-        match self.mode {
-            ShardMode::BitExact => self.measure_bitexact(packets),
-            ShardMode::RunLoop => self.measure_runloop(packets),
-        }
+        self.measure_begin();
+        self.measure_feed(packets);
+        self.measure_end()
     }
 
-    fn measure_runloop<I>(&mut self, packets: I) -> BatchStats
-    where
-        I: IntoIterator<Item = Packet>,
-    {
+    /// Opens a streaming measurement window: snapshots the pacing
+    /// parameters and resets per-shard aggregates. Chunks fed with
+    /// [`ShardedNic::measure_feed`] continue one arrival schedule;
+    /// [`ShardedNic::measure_end`] drains and returns the merged stats.
+    pub fn measure_begin(&mut self) {
+        debug_assert!(self.measuring.is_none(), "measurement window already open");
         let cores = self.params().num_cores.max(1);
         let line_pps = self.params().line_rate_pps(self.config.packet_bytes);
         let offered_gbps = self.params().line_rate_gbps;
         let default_bytes = self.config.packet_bytes;
         let batch_start_s = self.now_s;
-        let nw = self.shards.len();
-
-        for cell in &self.shards {
-            let mut st = cell.state.lock().expect("shard state poisoned");
-            st.ctx = BatchCtx::Measure {
-                batch_start_s,
-                line_pps,
-                cores,
-                default_bytes,
-            };
-            st.local_idx = 0;
-            st.agg.reset();
+        if self.mode == ShardMode::RunLoop {
+            for cell in &self.shards {
+                let mut st = cell.state.lock().expect("shard state poisoned");
+                st.ctx = BatchCtx::Measure {
+                    batch_start_s,
+                    line_pps,
+                    cores,
+                    default_bytes,
+                };
+                st.local_idx = 0;
+                st.agg.reset();
+            }
         }
-        let mut n = 0u64;
-        self.dispatch(packets.into_iter().map(|pkt| {
-            n += 1;
-            let shard = (pkt.flow_hash() % nw as u64) as usize;
-            (shard, WorkItem { idx: 0, pkt })
-        }));
+        self.measuring = Some(MeasureStream {
+            batch_start_s,
+            line_pps,
+            cores,
+            default_bytes,
+            offered_gbps,
+            n: 0,
+            records: Vec::new(),
+            base_seq: self.seq,
+        });
+    }
+
+    /// Feeds one chunk into the open measurement window. In `RunLoop`
+    /// mode this only *dispatches* — it does not wait for the chunk to
+    /// drain, so control-plane generations published between feeds land
+    /// genuinely mid-flight. In `BitExact` mode the chunk runs to
+    /// completion (the oracle is fork-join), with global arrival indices
+    /// continuing from the previous feed.
+    pub fn measure_feed<I>(&mut self, packets: I)
+    where
+        I: IntoIterator<Item = Packet>,
+    {
+        match self.mode {
+            ShardMode::RunLoop => {
+                let nw = self.shards.len();
+                let gen = self.latest_gen;
+                let mut n = 0u64;
+                self.dispatch(packets.into_iter().map(|pkt| {
+                    n += 1;
+                    let shard = (pkt.flow_hash() % nw as u64) as usize;
+                    (shard, WorkItem { idx: 0, gen, pkt })
+                }));
+                self.measuring.as_mut().expect("measure_begin first").n += n;
+            }
+            ShardMode::BitExact => self.measure_feed_bitexact(packets),
+        }
+    }
+
+    /// Closes the measurement window: waits for every fed packet to
+    /// drain (quiescing the generation chain in live mode) and returns
+    /// the merged statistics for the whole window.
+    pub fn measure_end(&mut self) -> BatchStats {
+        match self.mode {
+            ShardMode::RunLoop => self.measure_end_runloop(),
+            ShardMode::BitExact => self.measure_end_bitexact(),
+        }
+    }
+
+    fn measure_end_runloop(&mut self) -> BatchStats {
         self.wait_idle();
+        let stream = self.measuring.take().expect("measure_begin first");
+        let MeasureStream {
+            batch_start_s,
+            line_pps,
+            cores,
+            offered_gbps,
+            n,
+            ..
+        } = stream;
 
         self.seq += n;
         if n > 0 {
@@ -1000,29 +1357,31 @@ impl ShardedNic {
         }
     }
 
-    fn measure_bitexact<I>(&mut self, packets: I) -> BatchStats
+    fn measure_feed_bitexact<I>(&mut self, packets: I)
     where
         I: IntoIterator<Item = Packet>,
     {
-        let cores = self.params().num_cores.max(1);
-        let line_pps = self.params().line_rate_pps(self.config.packet_bytes);
-        let offered_gbps = self.params().line_rate_gbps;
-        let default_bytes = self.config.packet_bytes;
-        let batch_start_s = self.now_s;
-        let base_seq = self.seq;
+        let mut stream = self.measuring.take().expect("measure_begin first");
         let nw = self.shards.len();
 
-        // RSS: partition the batch by flow hash, tagging each packet with
-        // its global arrival index.
+        // RSS: partition the chunk by flow hash, tagging each packet
+        // with its global arrival index — continuing from earlier feeds,
+        // so a multi-feed window replays the same global schedule as one
+        // concatenated batch.
         let mut work: Vec<Vec<(u64, Packet)>> = (0..nw).map(|_| Vec::new()).collect();
-        let mut n = 0u64;
+        let mut n = stream.n;
         for pkt in packets {
             let shard = (pkt.flow_hash() % nw as u64) as usize;
             work[shard].push((n, pkt));
             n += 1;
         }
 
-        let mut records: Vec<PacketRecord> = Vec::with_capacity(n as usize);
+        let batch_start_s = stream.batch_start_s;
+        let line_pps = stream.line_pps;
+        let cores = stream.cores;
+        let default_bytes = stream.default_bytes;
+        let base_seq = stream.base_seq;
+        let records = &mut stream.records;
         std::thread::scope(|s| {
             let mut handles = Vec::new();
             for (cell, work) in self.shards.iter().zip(work) {
@@ -1063,6 +1422,22 @@ impl ShardedNic {
                 records.extend(h.join().expect("shard worker panicked"));
             }
         });
+        stream.n = n;
+        self.measuring = Some(stream);
+    }
+
+    fn measure_end_bitexact(&mut self) -> BatchStats {
+        let stream = self.measuring.take().expect("measure_begin first");
+        let MeasureStream {
+            batch_start_s,
+            line_pps,
+            cores,
+            offered_gbps,
+            n,
+            mut records,
+            base_seq,
+            ..
+        } = stream;
         records.sort_unstable_by_key(|r| r.arrival);
 
         self.seq = base_seq + n;
@@ -1163,6 +1538,30 @@ impl NicBackend for ShardedNic {
 
     fn now_s(&self) -> f64 {
         ShardedNic::now_s(self)
+    }
+
+    fn set_live_reconfig(&mut self, on: bool) {
+        ShardedNic::set_live_reconfig(self, on)
+    }
+
+    fn live_reconfig(&self) -> bool {
+        ShardedNic::live_reconfig(self)
+    }
+
+    fn last_swap(&self) -> Option<LiveSwap> {
+        ShardedNic::last_swap(self)
+    }
+
+    fn measure_begin(&mut self) {
+        ShardedNic::measure_begin(self)
+    }
+
+    fn measure_feed(&mut self, packets: Vec<Packet>) {
+        ShardedNic::measure_feed(self, packets)
+    }
+
+    fn measure_end(&mut self) -> BatchStats {
+        ShardedNic::measure_end(self)
     }
 }
 

@@ -18,10 +18,12 @@ use pipeleon_ir::{
     ProgramGraph, TableEntry,
 };
 use pipeleon_runtime::{
-    Controller, ControllerConfig, FaultConfig, FaultyTarget, RuntimeError, SimTarget, Target,
+    graph_fingerprint, Controller, ControllerConfig, FaultConfig, FaultyTarget, RuntimeError,
+    SimTarget, Target,
 };
 use pipeleon_sim::{
-    BatchStats, EngineMode, ExecReport, Executor, Packet, PacketTrace, ShardedNic, SmartNic,
+    BatchStats, EngineMode, ExecReport, Executor, Packet, PacketTrace, ShardMode, ShardedNic,
+    SmartNic,
 };
 use pipeleon_workloads::scenarios::AclPipeline;
 use pipeleon_workloads::synth::{synthesize, MatchMix, SynthConfig};
@@ -613,5 +615,128 @@ proptest! {
         prop_assert_eq!(pf, 1, "patching must never fall back to a full recompile");
         prop_assert_eq!(pr, ops.len() as u64);
         prop_assert_eq!(scratch.compile_stats(), (1, 0));
+    }
+
+    /// Live-reconfiguration convergence: interleaving entry patches with
+    /// a full generation swap — in either order, published mid-flight on
+    /// the run-loop datapath — must land on the same program a scratch
+    /// build of "swap target + post-swap ops" describes. `split == 0` is
+    /// swap-then-patch; `split >= ops.len()` is patch-then-swap; anything
+    /// between mixes both around the swap.
+    #[test]
+    fn live_patch_and_swap_converge_to_scratch(
+        ops in prop::collection::vec((0usize..3, 0u64..64), 1..16),
+        split in 0usize..16,
+        swap_key in 0u64..24,
+        traffic_seed in 0u64..1_000,
+    ) {
+        let (g, tables) = churn_program();
+        let params = CostParams::bluefield2();
+        let split = split.min(ops.len());
+        // The swap target: the base program plus one rule on t0. A full
+        // deploy replaces the whole program, so pre-swap ops are wiped.
+        let mut swapped = g.clone();
+        swapped
+            .node_mut(tables[0])
+            .unwrap()
+            .as_table_mut()
+            .unwrap()
+            .entries
+            .push(TableEntry::new(vec![MatchValue::Exact(swap_key)], 0));
+
+        let mut live =
+            ShardedNic::with_mode(g.clone(), params.clone(), 2, ShardMode::RunLoop).unwrap();
+        live.set_live_reconfig(true);
+        let mut sync = SmartNic::new(g, params.clone()).unwrap();
+        // `expected` is built purely from the op list, no datapath: the
+        // swap target with the post-swap ops applied to its tables.
+        let mut expected = swapped.clone();
+
+        let mut lens = vec![0usize; tables.len()];
+        let apply = |live: &mut ShardedNic,
+                         sync: &mut SmartNic,
+                         expected: &mut pipeleon_ir::ProgramGraph,
+                         lens: &mut Vec<usize>,
+                         after_swap: bool,
+                         t: usize,
+                         k: u64|
+         -> Result<(), TestCaseError> {
+            if lens[t] > 0 && k.is_multiple_of(3) {
+                let idx = (k as usize) % lens[t];
+                let a = live.remove_entry(tables[t], idx).unwrap();
+                let b = sync.remove_entry(tables[t], idx).unwrap();
+                prop_assert_eq!(a, b, "removed different entries");
+                if after_swap {
+                    expected
+                        .node_mut(tables[t])
+                        .unwrap()
+                        .as_table_mut()
+                        .unwrap()
+                        .entries
+                        .remove(idx);
+                }
+                lens[t] -= 1;
+            } else {
+                let e = TableEntry::new(vec![MatchValue::Exact(k % 24)], 0);
+                live.insert_entry(tables[t], e.clone()).unwrap();
+                sync.insert_entry(tables[t], e.clone()).unwrap();
+                if after_swap {
+                    expected
+                        .node_mut(tables[t])
+                        .unwrap()
+                        .as_table_mut()
+                        .unwrap()
+                        .entries
+                        .push(e);
+                }
+                lens[t] += 1;
+            }
+            Ok(())
+        };
+
+        live.measure_begin();
+        let mut fed = 0u64;
+        let feed = |live: &mut ShardedNic, fed: &mut u64, n: u64| {
+            live.measure_feed((0..8u64).map(|i| churn_packet(traffic_seed + n * 8 + i)));
+            *fed += 8;
+        };
+        feed(&mut live, &mut fed, 0);
+        for (i, &(t, k)) in ops[..split].iter().enumerate() {
+            apply(&mut live, &mut sync, &mut expected, &mut lens, false, t, k)?;
+            feed(&mut live, &mut fed, 1 + i as u64);
+        }
+        // The generation swap, mid-window on the live datapath.
+        live.deploy(swapped.clone()).unwrap();
+        sync.deploy(swapped).unwrap();
+        lens.iter_mut().for_each(|l| *l = 0);
+        lens[0] = 1;
+        feed(&mut live, &mut fed, 100);
+        for (i, &(t, k)) in ops[split..].iter().enumerate() {
+            apply(&mut live, &mut sync, &mut expected, &mut lens, true, t, k)?;
+            feed(&mut live, &mut fed, 101 + i as u64);
+        }
+        let stats = live.measure_end();
+        prop_assert_eq!(stats.packets, fed, "live run lost packets");
+
+        // Convergence: control plane, every quiesced shard, the
+        // synchronous reference, and the scratch-built program all
+        // fingerprint identically.
+        let want = graph_fingerprint(&expected);
+        prop_assert_eq!(graph_fingerprint(live.graph()), want, "live control graph");
+        prop_assert_eq!(graph_fingerprint(sync.graph()), want, "synchronous reference");
+        for (i, sg) in live.shard_graphs().iter().enumerate() {
+            prop_assert_eq!(graph_fingerprint(sg), want, "shard {} graph", i);
+        }
+        // And behaviorally: probes through the live datapath match a NIC
+        // compiled from scratch off the expected program.
+        let mut scratch = SmartNic::new(expected, params).unwrap();
+        for i in 0..64u64 {
+            let mut a = churn_packet(traffic_seed * 131 + i);
+            let mut b = a.clone();
+            let ra = live.process_one(&mut a);
+            let rb = scratch.process_one(&mut b);
+            prop_assert_eq!(ra.dropped, rb.dropped, "probe {} forwarding diverged", i);
+            prop_assert_eq!(&a, &b, "probe {} mutations diverged", i);
+        }
     }
 }
