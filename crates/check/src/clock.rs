@@ -1,0 +1,106 @@
+//! Vector clocks and epochs — the happens-before machinery.
+//!
+//! Every model thread carries a [`VClock`]; every synchronization object
+//! (atomic location, mutex) carries the clock its last release published.
+//! Data accesses are summarized as [`Epoch`]s (a FastTrack-style
+//! `(thread, counter)` pair): an access `e` happens-before the current
+//! operation of thread `t` iff `t`'s clock covers `e`. Two accesses to
+//! the same cell with neither covering the other — and at least one a
+//! write — are a data race.
+
+/// Maximum number of concurrently live model threads per execution.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock over model thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    t: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything that
+    /// happened-before `o` also happens-before `self`.
+    pub fn join(&mut self, o: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.t[i] = self.t[i].max(o.t[i]);
+        }
+    }
+
+    /// Advances `tid`'s own component (one per tracked operation).
+    pub fn tick(&mut self, tid: usize) {
+        self.t[tid] += 1;
+    }
+
+    /// The component for `tid`.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.t[tid]
+    }
+
+    /// This thread's current epoch — its own component, as a summary of
+    /// "everything I have done so far".
+    pub fn epoch(&self, tid: usize) -> Epoch {
+        Epoch {
+            tid,
+            at: self.t[tid],
+        }
+    }
+
+    /// Whether the access summarized by `e` happens-before a thread
+    /// whose clock is `self`.
+    pub fn covers(&self, e: Epoch) -> bool {
+        self.t[e.tid] >= e.at
+    }
+
+    /// Forgets everything (used when a Relaxed store breaks a release
+    /// sequence: subsequent acquire loads synchronize with nothing).
+    pub fn clear(&mut self) {
+        self.t = [0; MAX_THREADS];
+    }
+}
+
+/// One recorded access: which thread, and where that thread's own clock
+/// component stood when it happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    /// The accessing model thread.
+    pub tid: usize,
+    /// That thread's own clock component at the access.
+    pub at: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_covers_tracks_hb() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0); // a = [2, 0, ...]
+        let mut b = VClock::new();
+        b.tick(1); // b = [0, 1, ...]
+        let e_a = a.epoch(0);
+        assert!(!b.covers(e_a), "no edge yet");
+        b.join(&a);
+        assert!(b.covers(e_a), "join creates the edge");
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn clear_forgets_the_release() {
+        let mut a = VClock::new();
+        a.tick(2);
+        let e = a.epoch(2);
+        let mut sync = a.clone();
+        sync.clear();
+        let mut reader = VClock::new();
+        reader.join(&sync);
+        assert!(!reader.covers(e), "cleared clock publishes nothing");
+    }
+}

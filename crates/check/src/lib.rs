@@ -1,0 +1,136 @@
+//! `pipeleon-check` — a loom-style deterministic concurrency model
+//! checker for Pipeleon's lock-free datapath.
+//!
+//! The datapath's hot structures — the SPSC ring (`pipeleon-sim`'s
+//! `ring` module) and the RCU generation chain — are hand-rolled
+//! lock-free code whose correctness rests on specific happens-before
+//! edges (which `Acquire` load synchronizes with which `Release`
+//! store). Stress tests exercise a handful of interleavings per run
+//! and say nothing when they pass; this crate *enumerates*
+//! interleavings deterministically and checks every data access for
+//! ordering, so a missing edge becomes a reported counterexample
+//! schedule instead of a once-a-month corruption.
+//!
+//! # How it works
+//!
+//! - [`sync::atomic`], [`cell::CheckCell`], [`sync::Mutex`], and
+//!   [`thread`] are drop-in shims. Inside [`explore`], each operation
+//!   is a scheduling point on a cooperative scheduler that runs
+//!   exactly one model thread at a time; outside, they fall back to
+//!   plain `std` behaviour (so shimmed code still runs normally).
+//! - Values are sequentially consistent; *orderings* are tracked
+//!   separately with vector clocks under C11 release/acquire rules
+//!   (see [`cell::CheckCell`] and the `shim` module docs). Weakening
+//!   an ordering removes happens-before edges and surfaces as a data
+//!   race on the guarded plain-memory access.
+//! - [`Mode::Exhaustive`] enumerates schedules by DFS with a
+//!   preemption bound (CHESS-style); [`Mode::Random`] samples with a
+//!   seeded walk.
+//!
+//! # What it cannot see
+//!
+//! The executor is sequentially consistent, so bugs that *only*
+//! manifest as weak-memory value reorderings (e.g. IRIW, or an
+//! algorithm that is HB-race-free yet relies on a store becoming
+//! visible out of order) are out of scope; the race detector
+//! compensates for the common cases by flagging any plain access not
+//! ordered by the tracked synchronization. Spurious
+//! `compare_exchange_weak` failures are not modeled, and model
+//! executions are capped at [`clock::MAX_THREADS`] threads.
+//!
+//! # Example
+//!
+//! ```
+//! use pipeleon_check as check;
+//! use check::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let report = check::explore(check::Config::exhaustive(2), || {
+//!     let flag = Arc::new(AtomicUsize::new(0));
+//!     let f2 = Arc::clone(&flag);
+//!     let t = check::thread::spawn(move || {
+//!         f2.store(1, Ordering::Release);
+//!     });
+//!     let _ = flag.load(Ordering::Acquire);
+//!     t.join().unwrap();
+//! })
+//! .unwrap();
+//! assert!(report.complete);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod clock;
+mod sched;
+mod shim;
+
+pub use sched::{explore, Config, Failure, Mode, Report};
+
+/// Tracked `std::sync` stand-ins: atomics and a mutex.
+pub mod sync {
+    pub use crate::shim::mutex::{Mutex, MutexGuard};
+
+    /// Tracked `std::sync::atomic` stand-ins. `Ordering` is re-exported
+    /// from `std` so shimmed code keeps its ordering annotations.
+    pub mod atomic {
+        pub use crate::shim::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+        pub use std::sync::atomic::Ordering;
+    }
+}
+
+/// Tracked `UnsafeCell` stand-in.
+pub mod cell {
+    pub use crate::shim::cell::CheckCell;
+}
+
+/// Model-aware `std::thread` stand-ins.
+pub mod thread {
+    pub use crate::shim::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Explores every interleaving of `$body` under `$cfg` and panics with
+/// the counterexample schedule if any fails; evaluates to the
+/// [`Report`] on success.
+///
+/// ```
+/// use pipeleon_check::{model, Config};
+/// let report = model!(Config::exhaustive(2), || {
+///     // ... spawn model threads, assert invariants ...
+/// });
+/// assert!(report.executions >= 1);
+/// ```
+#[macro_export]
+macro_rules! model {
+    ($cfg:expr, $body:expr) => {{
+        match $crate::explore($cfg, $body) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }};
+}
+
+/// Asserts that exploring `$body` finds a failing interleaving whose
+/// diagnostic contains `$needle`; evaluates to the [`Failure`]. This is
+/// the mutant-kill harness: a weakened ordering must produce a
+/// detectable counterexample, or the checker itself is broken.
+#[macro_export]
+macro_rules! model_expect_failure {
+    ($cfg:expr, $body:expr, $needle:expr) => {{
+        match $crate::explore($cfg, $body) {
+            Ok(report) => panic!(
+                "expected a failing interleaving containing {:?}, but all {} explored \
+                 executions passed (complete = {})",
+                $needle, report.executions, report.complete
+            ),
+            Err(failure) => {
+                assert!(
+                    failure.message.contains($needle),
+                    "model failed as expected, but with the wrong diagnostic \
+                     (wanted {:?}): {failure}",
+                    $needle
+                );
+                failure
+            }
+        }
+    }};
+}

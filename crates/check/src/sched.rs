@@ -1,0 +1,836 @@
+//! The cooperative scheduler and interleaving explorer.
+//!
+//! # Execution model
+//!
+//! A model run executes the user's closure on *model threads* — real OS
+//! threads whose execution is serialized by a token: exactly one model
+//! thread runs at a time, and it runs uninterrupted from one *tracked
+//! operation* (atomic access, cell access, mutex lock/unlock, spawn,
+//! join, yield) to the next. Each tracked operation is therefore a
+//! scheduling point, and one complete run corresponds to one
+//! sequentially-consistent interleaving of tracked operations.
+//!
+//! # Exploration
+//!
+//! [`Mode::Exhaustive`] enumerates interleavings by depth-first search
+//! over the scheduling choices, CHESS-style: the *default* continuation
+//! never switches away from a runnable thread (so the baseline schedule
+//! has zero preemptions), and backtracking introduces alternative
+//! choices bounded by [`Config::preemption_bound`] — a switch away from
+//! a still-runnable, non-yielded thread counts against the bound; a
+//! forced switch (current thread blocked/finished/yielded) is free.
+//! Replay is deterministic: the model closure must behave identically
+//! given the same schedule, which the tracked shims guarantee as long
+//! as the closure itself is deterministic.
+//!
+//! [`Mode::Random`] instead samples `executions` schedules with a seeded
+//! SplitMix64 walk (uniform over runnable threads at every point) — no
+//! bound, so it reaches interleavings the bounded DFS cannot, at the
+//! price of no exhaustiveness guarantee.
+//!
+//! # What a failure is
+//!
+//! Any panic on a model thread (an assertion in the model body, or a
+//! diagnostic raised by the tracked shims: data race, read of an
+//! uninitialized cell, deadlock, step-budget livelock) aborts the
+//! execution and is reported as a [`Failure`] carrying the panic message
+//! and the thread schedule that produced it.
+
+use crate::clock::{Epoch, VClock, MAX_THREADS};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// How the explorer picks schedules.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Depth-first enumeration of every interleaving reachable with at
+    /// most [`Config::preemption_bound`] preemptions.
+    Exhaustive,
+    /// `executions` seeded random walks over the full schedule space.
+    Random {
+        /// RNG seed (SplitMix64).
+        seed: u64,
+        /// Number of schedules to sample.
+        executions: u64,
+    },
+}
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Schedule-selection mode.
+    pub mode: Mode,
+    /// Maximum preemptions per schedule in [`Mode::Exhaustive`].
+    pub preemption_bound: u32,
+    /// Hard cap on explored executions; exceeding it ends exploration
+    /// with [`Report::complete`] = false instead of running forever.
+    pub max_executions: u64,
+    /// Per-execution cap on tracked operations (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Config {
+    /// Exhaustive DFS with the given preemption bound.
+    pub fn exhaustive(preemption_bound: u32) -> Self {
+        Self {
+            mode: Mode::Exhaustive,
+            preemption_bound,
+            max_executions: 2_000_000,
+            max_steps: 50_000,
+        }
+    }
+
+    /// Seeded random walk of `executions` schedules.
+    pub fn random(seed: u64, executions: u64) -> Self {
+        Self {
+            mode: Mode::Random { seed, executions },
+            preemption_bound: u32::MAX,
+            max_executions: executions,
+            max_steps: 50_000,
+        }
+    }
+
+    /// Caps the number of executions explored.
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Caps tracked operations per execution.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+}
+
+/// Successful exploration summary.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct complete executions (interleavings) explored.
+    pub executions: u64,
+    /// Whether the bounded schedule space was exhausted (false in
+    /// random mode and when `max_executions` was hit first).
+    pub complete: bool,
+}
+
+/// A failing interleaving.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The diagnostic: shim-raised ("data race: ...") or the model
+    /// body's own panic message.
+    pub message: String,
+    /// Executions completed before this one failed.
+    pub executions: u64,
+    /// The thread id executing each step of the failing schedule.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} passing executions: {}\n  schedule: {:?}",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// aborts (failure raised here or elsewhere); never reported as a
+/// failure itself.
+pub(crate) struct Abort;
+
+/// Thread run state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Slot not occupied by a live thread in this execution.
+    Unused,
+    Runnable,
+    /// Waiting for a mutex location to be released.
+    BlockedMutex(usize),
+    /// Waiting for a thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    clock: VClock,
+    /// Set by `yield_now`; cleared at the next grant (to anyone). A
+    /// yielded thread is deprioritized so spin loops make progress.
+    yielded: bool,
+}
+
+/// Synchronization state of one tracked object.
+pub(crate) enum LocSt {
+    Atomic {
+        /// Clock published by the release (sequence) currently visible
+        /// to acquiring loads of this location.
+        sync: VClock,
+    },
+    Mutex {
+        held_by: Option<usize>,
+        sync: VClock,
+    },
+    Cell {
+        /// Last write, if any (FastTrack epoch: covers ⇔ happens-before).
+        write: Option<Epoch>,
+        /// Reads since the last write (at most one epoch per thread).
+        reads: Vec<Epoch>,
+        /// Whether the cell has ever been written.
+        init: bool,
+    },
+}
+
+/// One scheduling decision point.
+#[derive(Clone, Debug)]
+struct Frame {
+    /// Candidate threads in preference order (default continuation
+    /// first). The DFS explores them left to right.
+    alts: Vec<usize>,
+    /// Index into `alts` actually taken.
+    chosen: usize,
+    /// Thread that executed the previous step (`usize::MAX` at step 0).
+    last_run: usize,
+    /// Preemptions consumed before this point.
+    preemptions_before: u32,
+}
+
+struct Shared {
+    threads: Vec<ThreadSt>,
+    /// Which model thread currently holds the run token.
+    active: Option<usize>,
+    /// Tracked-operation count this execution.
+    step: u64,
+    /// Thread that executed the previous step.
+    last_run: usize,
+    preemptions: u32,
+    /// The schedule: replayed prefix (from the explorer's plan) plus
+    /// default extensions recorded as they happen.
+    frames: Vec<Frame>,
+    /// How many frames have been consumed (replay/record cursor).
+    cursor: usize,
+    locations: Vec<LocSt>,
+    failure: Option<String>,
+    abort: bool,
+    /// Unfinished model threads.
+    live: usize,
+    /// Random-mode RNG state.
+    rng: u64,
+    /// The executed schedule (thread per step), for failure reports.
+    trace: Vec<usize>,
+}
+
+pub(crate) struct ExecCtx {
+    shared: Mutex<Shared>,
+    cv: Condvar,
+    cfg: Config,
+    /// Identifies this execution; tracked objects lazily (re)register
+    /// their location when their stamp is stale.
+    pub(crate) exec_id: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<ExecCtx>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The ambient execution context of the calling thread, if it is a
+/// model thread of an active exploration.
+pub(crate) fn current() -> Option<(Arc<ExecCtx>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl ExecCtx {
+    /// Locks the shared state, ignoring poison: a failing execution
+    /// panics (by design) while holding the lock, and every path that
+    /// observes the poisoned state only reads fields written before the
+    /// poisoning panic (`abort`, `failure`).
+    fn lock(&self) -> MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, Shared>) -> MutexGuard<'a, Shared> {
+        self.cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new tracked object and returns its location id.
+    pub(crate) fn register_location(&self, loc: LocSt) -> usize {
+        let mut sh = self.lock();
+        sh.locations.push(loc);
+        sh.locations.len() - 1
+    }
+
+    /// Raises a checker diagnostic: record it, abort every model thread,
+    /// unwind the caller.
+    fn fail(&self, sh: &mut Shared, msg: String) -> ! {
+        if sh.failure.is_none() {
+            sh.failure = Some(msg);
+        }
+        sh.abort = true;
+        self.cv.notify_all();
+        abort_panic()
+    }
+
+    /// The scheduling point: the calling thread is about to perform its
+    /// next tracked operation. Picks who runs next (possibly the caller
+    /// itself, which costs no preemption) and blocks until the caller is
+    /// granted the token again. On return the caller owns the token and
+    /// may perform exactly one tracked operation.
+    pub(crate) fn yield_point(self: &Arc<Self>, tid: usize) {
+        let sh = self.lock();
+        if sh.abort {
+            drop(sh);
+            abort_panic();
+        }
+        debug_assert_eq!(sh.active, Some(tid), "yield from a non-active thread");
+        let mut sh = sh;
+        self.schedule_next(&mut sh);
+        self.await_grant(sh, tid);
+    }
+
+    /// Blocks until `tid` holds the token, then performs per-step
+    /// bookkeeping.
+    fn await_grant(self: &Arc<Self>, mut sh: MutexGuard<'_, Shared>, tid: usize) {
+        while sh.active != Some(tid) {
+            if sh.abort {
+                drop(sh);
+                abort_panic();
+            }
+            sh = self.wait(sh);
+        }
+        self.grant_bookkeeping(&mut sh, tid);
+    }
+
+    /// Marks the step as executed by `tid`: trace, step budget, clock
+    /// tick, yielded-flag reset.
+    fn grant_bookkeeping(&self, sh: &mut Shared, tid: usize) {
+        sh.step += 1;
+        sh.trace.push(tid);
+        if sh.step > self.cfg.max_steps {
+            self.fail(
+                sh,
+                format!(
+                    "execution exceeded {} tracked operations (livelock or unbounded loop?)",
+                    self.cfg.max_steps
+                ),
+            );
+        }
+        sh.last_run = tid;
+        for t in sh.threads.iter_mut() {
+            t.yielded = false;
+        }
+        sh.threads[tid].clock.tick(tid);
+    }
+
+    /// Picks the next thread to run and hands it the token. The caller's
+    /// `status` must already reflect whether it is pausing (Runnable),
+    /// blocking, or finished.
+    fn schedule_next(self: &Arc<Self>, sh: &mut Shared) {
+        let runnable: Vec<usize> = sh
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if sh.live > 0 {
+                // Someone is blocked but nobody can run: deadlock.
+                let blocked: Vec<(usize, Status)> = sh
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| {
+                        matches!(t.status, Status::BlockedMutex(_) | Status::BlockedJoin(_))
+                    })
+                    .map(|(i, t)| (i, t.status))
+                    .collect();
+                self.fail(sh, format!("deadlock: blocked threads {blocked:?}"));
+            }
+            // Execution over.
+            sh.active = None;
+            self.cv.notify_all();
+            return;
+        }
+        // Deprioritize yielded threads so spin loops let peers progress.
+        let candidates: Vec<usize> = {
+            let non_yielded: Vec<usize> = runnable
+                .iter()
+                .copied()
+                .filter(|&t| !sh.threads[t].yielded)
+                .collect();
+            if non_yielded.is_empty() {
+                runnable
+            } else {
+                non_yielded
+            }
+        };
+        let chosen = match self.cfg.mode {
+            Mode::Random { .. } => {
+                let r = splitmix64(&mut sh.rng) as usize;
+                candidates[r % candidates.len()]
+            }
+            Mode::Exhaustive => {
+                if sh.cursor < sh.frames.len() {
+                    // Replay the planned prefix.
+                    let f = &sh.frames[sh.cursor];
+                    debug_assert!(
+                        f.alts.iter().all(|t| candidates.contains(t)),
+                        "nondeterministic model: replay diverged \
+                         (planned {:?}, runnable {:?})",
+                        f.alts,
+                        candidates
+                    );
+                    f.alts[f.chosen]
+                } else {
+                    // Extend with the default (preemption-free) policy:
+                    // keep running the previous thread when possible.
+                    let alts = preference_order(&candidates, sh.last_run);
+                    let tid = alts[0];
+                    let frame = Frame {
+                        alts,
+                        chosen: 0,
+                        last_run: sh.last_run,
+                        preemptions_before: sh.preemptions,
+                    };
+                    sh.frames.push(frame);
+                    tid
+                }
+            }
+        };
+        sh.cursor += 1;
+        if chosen != sh.last_run
+            && sh.last_run != usize::MAX
+            && sh
+                .threads
+                .get(sh.last_run)
+                .map(|t| t.status == Status::Runnable && !t.yielded)
+                .unwrap_or(false)
+        {
+            sh.preemptions += 1;
+        }
+        sh.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Registers a new model thread (spawned by `parent`) and returns
+    /// its id. The child's clock inherits the parent's (spawn edge).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut sh = self.lock();
+        let tid = sh
+            .threads
+            .iter()
+            .position(|t| t.status == Status::Unused)
+            .unwrap_or(sh.threads.len());
+        if tid >= MAX_THREADS {
+            self.fail(
+                &mut sh,
+                format!("model spawned more than {MAX_THREADS} threads"),
+            );
+        }
+        let mut clock = sh.threads[parent].clock.clone();
+        clock.tick(tid);
+        let st = ThreadSt {
+            status: Status::Runnable,
+            clock,
+            yielded: false,
+        };
+        if tid == sh.threads.len() {
+            sh.threads.push(st);
+        } else {
+            sh.threads[tid] = st;
+        }
+        sh.live += 1;
+        tid
+    }
+
+    /// Model-thread top level: wait for the first grant, run the body
+    /// (catching panics into the shared failure slot), hand the token
+    /// onward.
+    pub(crate) fn run_thread<F: FnOnce()>(self: &Arc<Self>, tid: usize, body: F) {
+        {
+            let mut sh = self.lock();
+            while sh.active != Some(tid) && !sh.abort {
+                sh = self.wait(sh);
+            }
+            if sh.abort {
+                // Aborted before we ever ran: just finish.
+                drop(sh);
+                self.finish_thread(tid);
+                return;
+            }
+            self.grant_bookkeeping(&mut sh, tid);
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(body));
+        if let Err(payload) = result {
+            if payload.downcast_ref::<Abort>().is_none() {
+                let msg = panic_message(payload.as_ref());
+                let mut sh = self.lock();
+                if sh.failure.is_none() {
+                    sh.failure = Some(msg);
+                }
+                sh.abort = true;
+                self.cv.notify_all();
+            }
+        }
+        self.finish_thread(tid);
+    }
+
+    fn finish_thread(self: &Arc<Self>, tid: usize) {
+        let mut sh = self.lock();
+        sh.threads[tid].status = Status::Finished;
+        sh.live -= 1;
+        // Wake joiners.
+        for t in sh.threads.iter_mut() {
+            if t.status == Status::BlockedJoin(tid) {
+                t.status = Status::Runnable;
+            }
+        }
+        if sh.abort {
+            sh.active = None;
+            self.cv.notify_all();
+        } else if sh.active == Some(tid) {
+            self.schedule_next(&mut sh);
+        }
+        if sh.live == 0 {
+            sh.active = None;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks the calling thread until `target` finishes, then joins the
+    /// target's final clock (the join edge).
+    pub(crate) fn join_thread(self: &Arc<Self>, tid: usize, target: usize) {
+        self.yield_point(tid);
+        loop {
+            let mut sh = self.lock();
+            if sh.threads[target].status == Status::Finished {
+                let tclock = sh.threads[target].clock.clone();
+                sh.threads[tid].clock.join(&tclock);
+                return;
+            }
+            sh.threads[tid].status = Status::BlockedJoin(target);
+            self.schedule_next(&mut sh);
+            self.await_grant(sh, tid);
+            // Woken because the target finished; loop re-checks.
+        }
+    }
+
+    /// Marks the caller yielded (deprioritized until the next grant) and
+    /// passes through a scheduling point.
+    pub(crate) fn yield_now(self: &Arc<Self>, tid: usize) {
+        {
+            let mut sh = self.lock();
+            sh.threads[tid].yielded = true;
+        }
+        self.yield_point(tid);
+    }
+
+    /// Runs `f` against the location table and the caller's clock — the
+    /// shims' entry point for happens-before bookkeeping. Must be called
+    /// with the token held (i.e., right after `yield_point`). An `Err`
+    /// from `f` is a checker diagnostic and fails the execution.
+    pub(crate) fn with_loc<R>(
+        self: &Arc<Self>,
+        tid: usize,
+        loc: usize,
+        f: impl FnOnce(&mut LocSt, &mut VClock) -> Result<R, String>,
+    ) -> R {
+        let mut sh = self.lock();
+        debug_assert_eq!(sh.active, Some(tid));
+        // Split-borrow threads vs locations.
+        let Shared {
+            threads, locations, ..
+        } = &mut *sh;
+        let clock = &mut threads[tid].clock;
+        match f(&mut locations[loc], clock) {
+            Ok(r) => r,
+            Err(msg) => self.fail(&mut sh, msg),
+        }
+    }
+
+    /// Mutex lock: loops through scheduling points until the location is
+    /// free, blocking (not spinning) while it is held.
+    pub(crate) fn mutex_lock(self: &Arc<Self>, tid: usize, loc: usize) {
+        self.yield_point(tid);
+        loop {
+            let mut sh = self.lock();
+            let held = match &sh.locations[loc] {
+                LocSt::Mutex { held_by, .. } => *held_by,
+                _ => unreachable!("location {loc} is not a mutex"),
+            };
+            match held {
+                None => {
+                    let Shared {
+                        threads, locations, ..
+                    } = &mut *sh;
+                    if let LocSt::Mutex { held_by, sync } = &mut locations[loc] {
+                        *held_by = Some(tid);
+                        threads[tid].clock.join(sync);
+                    }
+                    return;
+                }
+                Some(_) => {
+                    sh.threads[tid].status = Status::BlockedMutex(loc);
+                    self.schedule_next(&mut sh);
+                    self.await_grant(sh, tid);
+                    // Woken by an unlock; retry the acquisition.
+                }
+            }
+        }
+    }
+
+    /// Mutex unlock: publishes the holder's clock and wakes waiters.
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, tid: usize, loc: usize) {
+        self.yield_point(tid);
+        let mut sh = self.lock();
+        let Shared {
+            threads, locations, ..
+        } = &mut *sh;
+        if let LocSt::Mutex { held_by, sync } = &mut locations[loc] {
+            debug_assert_eq!(*held_by, Some(tid), "unlock by non-holder");
+            *held_by = None;
+            *sync = threads[tid].clock.clone();
+        }
+        for t in threads.iter_mut() {
+            if t.status == Status::BlockedMutex(loc) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// Candidate list in DFS preference order: the previous thread first
+/// (continuation, no preemption), then the rest ascending.
+fn preference_order(candidates: &[usize], last_run: usize) -> Vec<usize> {
+    let mut alts: Vec<usize> = candidates.to_vec();
+    alts.sort_unstable();
+    if let Some(pos) = alts.iter().position(|&t| t == last_run) {
+        alts.remove(pos);
+        alts.insert(0, last_run);
+    }
+    alts
+}
+
+fn abort_panic() -> ! {
+    panic::panic_any(Abort)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Silences the default panic printer for model threads (their panics
+/// are expected and reported through [`Failure`]); all other threads
+/// keep the previous hook behaviour.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_model = CURRENT.with(|c| c.borrow().is_some());
+            if !in_model {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Spawns an OS thread hosting model thread `tid`. Used for the root
+/// thread here and for child threads by the shims.
+pub(crate) fn spawn_model_thread<F>(
+    ctx: Arc<ExecCtx>,
+    tid: usize,
+    body: F,
+) -> std::thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctx), tid)));
+        // Catch everything: even a `fail` raised from within
+        // `finish_thread` (e.g. deadlock detection) must not unwind the
+        // OS thread, or the explorer would see a dead root thread
+        // instead of the recorded failure.
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| ctx.run_thread(tid, body)));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    })
+}
+
+/// Runs one execution replaying `plan` as a schedule prefix; returns the
+/// final shared state (frames, trace, failure).
+fn run_once<F>(cfg: Config, exec_id: u64, rng_seed: u64, plan: Vec<Frame>, body: &Arc<F>) -> Shared
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let ctx = Arc::new(ExecCtx {
+        shared: Mutex::new(Shared {
+            threads: vec![ThreadSt {
+                status: Status::Runnable,
+                clock: VClock::new(),
+                yielded: false,
+            }],
+            active: None,
+            step: 0,
+            last_run: usize::MAX,
+            preemptions: 0,
+            frames: plan,
+            cursor: 0,
+            locations: Vec::new(),
+            failure: None,
+            abort: false,
+            live: 1,
+            rng: rng_seed,
+            trace: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        cfg,
+        exec_id,
+    });
+
+    let root = {
+        let body = Arc::clone(body);
+        spawn_model_thread(Arc::clone(&ctx), 0, move || body())
+    };
+    // Hand the token to thread 0 (the only possible first choice).
+    {
+        let mut sh = ctx.lock();
+        sh.active = Some(0);
+        ctx.cv.notify_all();
+    }
+    let _ = root.join();
+    // Child OS threads the model did not join drain on abort/finish;
+    // wait for all of them so the state below is final.
+    {
+        let mut sh = ctx.lock();
+        while sh.live > 0 {
+            sh = ctx.wait(sh);
+        }
+    }
+    let mut ctx = ctx;
+    loop {
+        match Arc::try_unwrap(ctx) {
+            Ok(inner) => {
+                return inner
+                    .shared
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+            }
+            Err(again) => {
+                // A child OS thread can hold its clone for an instant
+                // after decrementing `live`; let it exit.
+                ctx = again;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Explores interleavings of `body` under `cfg`. Returns a [`Report`]
+/// if every explored interleaving passed, or the first [`Failure`].
+pub fn explore<F>(cfg: Config, body: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let body = Arc::new(body);
+    let mut executions: u64 = 0;
+    match cfg.mode {
+        Mode::Random {
+            seed,
+            executions: n,
+        } => {
+            let mut rng_state = seed;
+            for _ in 0..n.min(cfg.max_executions) {
+                let rng_seed = splitmix64(&mut rng_state);
+                let sh = run_once(cfg, executions, rng_seed, Vec::new(), &body);
+                if let Some(message) = sh.failure {
+                    return Err(Failure {
+                        message,
+                        executions,
+                        schedule: sh.trace,
+                    });
+                }
+                executions += 1;
+            }
+            Ok(Report {
+                executions,
+                complete: false,
+            })
+        }
+        Mode::Exhaustive => {
+            let mut plan: Vec<Frame> = Vec::new();
+            loop {
+                let sh = run_once(cfg, executions, 0, plan, &body);
+                if let Some(message) = sh.failure {
+                    return Err(Failure {
+                        message,
+                        executions,
+                        schedule: sh.trace,
+                    });
+                }
+                executions += 1;
+                if executions >= cfg.max_executions {
+                    return Ok(Report {
+                        executions,
+                        complete: false,
+                    });
+                }
+                // Backtrack: find the deepest frame with an untried
+                // alternative that fits the preemption bound.
+                let mut frames = sh.frames;
+                let next_plan = loop {
+                    let Some(mut f) = frames.pop() else {
+                        break None;
+                    };
+                    let mut alt = f.chosen + 1;
+                    let feasible = loop {
+                        if alt >= f.alts.len() {
+                            break None;
+                        }
+                        let tid = f.alts[alt];
+                        // Choosing `tid` preempts iff the previously
+                        // running thread was itself a candidate (it sits
+                        // in `alts`) and we pick someone else.
+                        let preempts = f.last_run != usize::MAX
+                            && tid != f.last_run
+                            && f.alts.contains(&f.last_run);
+                        if !preempts || f.preemptions_before < cfg.preemption_bound {
+                            break Some(alt);
+                        }
+                        alt += 1;
+                    };
+                    if let Some(alt) = feasible {
+                        f.chosen = alt;
+                        frames.push(f);
+                        break Some(frames);
+                    }
+                };
+                match next_plan {
+                    Some(p) => plan = p,
+                    None => {
+                        return Ok(Report {
+                            executions,
+                            complete: true,
+                        })
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,828 @@
+//! Tracked drop-in replacements for `std::sync::atomic`,
+//! `UnsafeCell`, `Mutex`, and `thread` primitives.
+//!
+//! Inside a model execution every operation on these types is a
+//! scheduling point and feeds the happens-before machinery:
+//!
+//! - **Values** are sequentially consistent: each shim holds a real
+//!   `std` atomic accessed with `SeqCst` (operations are serialized by
+//!   the scheduler token anyway), so a load always observes the most
+//!   recent store in the explored interleaving.
+//! - **Orderings** are tracked separately with vector clocks under the
+//!   C11 release/acquire rules: a `Release` store publishes the
+//!   storer's clock on the location, an `Acquire` load joins it, a
+//!   `Relaxed` store *breaks* the release sequence (clears the
+//!   location's clock), and read-modify-writes continue it. A weakened
+//!   ordering therefore does not change the values the model observes —
+//!   it removes happens-before edges, which the [`cell::CheckCell`]
+//!   race detector then reports when a data access is no longer
+//!   ordered.
+//!
+//! Outside a model execution (no ambient [`sched::ExecCtx`] — e.g. the
+//! same code running in an ordinary test, or during panic unwinding)
+//! every shim falls back to the plain `std` operation with the caller's
+//! orderings.
+
+use crate::clock::VClock;
+use crate::sched::{self, current, ExecCtx, LocSt};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The ambient model context, suppressed while unwinding: shim calls
+/// made from destructors of a failing execution must not re-enter the
+/// scheduler (the scheduler panics on `abort`, and a panic inside a
+/// drop during unwind would abort the process).
+fn active_model() -> Option<(Arc<ExecCtx>, usize)> {
+    if std::thread::panicking() {
+        None
+    } else {
+        current()
+    }
+}
+
+/// Lazily binds a tracked object to a location id in the current
+/// execution. The stamp packs `(exec_id << 32) | (loc + 1)`; a stale
+/// stamp (object created in an earlier execution, e.g. re-used across
+/// `explore` iterations) re-registers.
+#[derive(Debug)]
+struct LocHandle {
+    stamp: std::sync::atomic::AtomicU64,
+}
+
+impl Default for LocHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocHandle {
+    const fn new() -> Self {
+        Self {
+            stamp: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, ctx: &Arc<ExecCtx>, mk: impl FnOnce() -> LocSt) -> usize {
+        let s = self.stamp.load(Ordering::Relaxed);
+        if s != 0 && (s >> 32) == ctx.exec_id {
+            return (s as u32 as usize) - 1;
+        }
+        let loc = ctx.register_location(mk());
+        debug_assert!(loc < u32::MAX as usize);
+        self.stamp
+            .store((ctx.exec_id << 32) | (loc as u64 + 1), Ordering::Relaxed);
+        loc
+    }
+}
+
+fn acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Happens-before bookkeeping for a tracked load.
+fn track_load(ctx: &Arc<ExecCtx>, tid: usize, loc: usize, ord: Ordering) {
+    ctx.with_loc(tid, loc, |l, clock| {
+        if let LocSt::Atomic { sync } = l {
+            if acquires(ord) {
+                clock.join(sync);
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Happens-before bookkeeping for a tracked store: a release store
+/// heads a new release sequence (replaces the location clock); a
+/// relaxed store breaks the current one (clears it).
+fn track_store(ctx: &Arc<ExecCtx>, tid: usize, loc: usize, ord: Ordering) {
+    ctx.with_loc(tid, loc, |l, clock| {
+        if let LocSt::Atomic { sync } = l {
+            if releases(ord) {
+                *sync = clock.clone();
+            } else {
+                sync.clear();
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Happens-before bookkeeping for a read-modify-write: acquires join
+/// the location clock in, releases join the thread clock into the
+/// location (an RMW continues an existing release sequence, so the old
+/// clock is kept either way).
+fn track_rmw(ctx: &Arc<ExecCtx>, tid: usize, loc: usize, ord: Ordering) {
+    ctx.with_loc(tid, loc, |l, clock| {
+        if let LocSt::Atomic { sync } = l {
+            if acquires(ord) {
+                clock.join(sync);
+            }
+            if releases(ord) {
+                let snapshot = clock.clone();
+                sync.join(&snapshot);
+            }
+        }
+        Ok(())
+    });
+}
+
+fn new_atomic_loc() -> LocSt {
+    LocSt::Atomic {
+        sync: VClock::new(),
+    }
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            v: std::sync::atomic::$std,
+            loc: LocHandle,
+        }
+
+        impl $name {
+            /// Creates a new tracked atomic.
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    v: std::sync::atomic::$std::new(v),
+                    loc: LocHandle::new(),
+                }
+            }
+
+            /// Tracked load.
+            pub fn load(&self, ord: Ordering) -> $ty {
+                if let Some((ctx, tid)) = active_model() {
+                    ctx.yield_point(tid);
+                    let val = self.v.load(Ordering::SeqCst);
+                    let loc = self.loc.get(&ctx, new_atomic_loc);
+                    track_load(&ctx, tid, loc, ord);
+                    val
+                } else {
+                    self.v.load(ord)
+                }
+            }
+
+            /// Tracked store.
+            pub fn store(&self, val: $ty, ord: Ordering) {
+                if let Some((ctx, tid)) = active_model() {
+                    ctx.yield_point(tid);
+                    self.v.store(val, Ordering::SeqCst);
+                    let loc = self.loc.get(&ctx, new_atomic_loc);
+                    track_store(&ctx, tid, loc, ord);
+                } else {
+                    self.v.store(val, ord);
+                }
+            }
+
+            /// Tracked swap (read-modify-write).
+            pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |a| a.swap(val, Ordering::SeqCst), |a| a.swap(val, ord))
+            }
+
+            /// Tracked fetch-add (read-modify-write).
+            pub fn fetch_add(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |a| a.fetch_add(val, Ordering::SeqCst),
+                    |a| a.fetch_add(val, ord),
+                )
+            }
+
+            /// Tracked fetch-sub (read-modify-write).
+            pub fn fetch_sub(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |a| a.fetch_sub(val, Ordering::SeqCst),
+                    |a| a.fetch_sub(val, ord),
+                )
+            }
+
+            /// Tracked fetch-or (read-modify-write).
+            pub fn fetch_or(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |a| a.fetch_or(val, Ordering::SeqCst),
+                    |a| a.fetch_or(val, ord),
+                )
+            }
+
+            /// Tracked fetch-and (read-modify-write).
+            pub fn fetch_and(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |a| a.fetch_and(val, Ordering::SeqCst),
+                    |a| a.fetch_and(val, ord),
+                )
+            }
+
+            /// Tracked fetch-max (read-modify-write).
+            pub fn fetch_max(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |a| a.fetch_max(val, Ordering::SeqCst),
+                    |a| a.fetch_max(val, ord),
+                )
+            }
+
+            /// Tracked compare-exchange: RMW semantics on success, load
+            /// semantics (with `fail`) on failure.
+            pub fn compare_exchange(
+                &self,
+                cur: $ty,
+                new: $ty,
+                succ: Ordering,
+                fail: Ordering,
+            ) -> Result<$ty, $ty> {
+                if let Some((ctx, tid)) = active_model() {
+                    ctx.yield_point(tid);
+                    let r = self
+                        .v
+                        .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst);
+                    let loc = self.loc.get(&ctx, new_atomic_loc);
+                    match r {
+                        Ok(_) => track_rmw(&ctx, tid, loc, succ),
+                        Err(_) => track_load(&ctx, tid, loc, fail),
+                    }
+                    r
+                } else {
+                    self.v.compare_exchange(cur, new, succ, fail)
+                }
+            }
+
+            /// Tracked compare-exchange-weak (never fails spuriously in
+            /// the model — spurious failure is a hardware artifact the
+            /// SC executor does not reproduce).
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $ty,
+                new: $ty,
+                succ: Ordering,
+                fail: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(cur, new, succ, fail)
+            }
+
+            /// Untracked exclusive access (no concurrency possible).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.v.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $ty {
+                self.v.into_inner()
+            }
+
+            fn rmw(
+                &self,
+                ord: Ordering,
+                model_op: impl FnOnce(&std::sync::atomic::$std) -> $ty,
+                plain_op: impl FnOnce(&std::sync::atomic::$std) -> $ty,
+            ) -> $ty {
+                if let Some((ctx, tid)) = active_model() {
+                    ctx.yield_point(tid);
+                    let val = model_op(&self.v);
+                    let loc = self.loc.get(&ctx, new_atomic_loc);
+                    track_rmw(&ctx, tid, loc, ord);
+                    val
+                } else {
+                    plain_op(&self.v)
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Debug must not perturb the schedule: peek untracked.
+                write!(f, "{}({:?})", stringify!($name), self.v)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Tracked `AtomicUsize`.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+int_atomic!(
+    /// Tracked `AtomicU64`.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Tracked `AtomicU32`.
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+
+/// Tracked `AtomicBool`.
+pub struct AtomicBool {
+    v: std::sync::atomic::AtomicBool,
+    loc: LocHandle,
+}
+
+impl AtomicBool {
+    /// Creates a new tracked atomic flag.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            v: std::sync::atomic::AtomicBool::new(v),
+            loc: LocHandle::new(),
+        }
+    }
+
+    /// Tracked load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            let val = self.v.load(Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            track_load(&ctx, tid, loc, ord);
+            val
+        } else {
+            self.v.load(ord)
+        }
+    }
+
+    /// Tracked store.
+    pub fn store(&self, val: bool, ord: Ordering) {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            self.v.store(val, Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            track_store(&ctx, tid, loc, ord);
+        } else {
+            self.v.store(val, ord);
+        }
+    }
+
+    /// Tracked swap (read-modify-write).
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            let out = self.v.swap(val, Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            track_rmw(&ctx, tid, loc, ord);
+            out
+        } else {
+            self.v.swap(val, ord)
+        }
+    }
+
+    /// Untracked exclusive access.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.v.get_mut()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBool({:?})", self.v)
+    }
+}
+
+/// Tracked `AtomicPtr`.
+pub struct AtomicPtr<T> {
+    v: std::sync::atomic::AtomicPtr<T>,
+    loc: LocHandle,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new tracked atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            v: std::sync::atomic::AtomicPtr::new(p),
+            loc: LocHandle::new(),
+        }
+    }
+
+    /// Tracked load.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            let val = self.v.load(Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            track_load(&ctx, tid, loc, ord);
+            val
+        } else {
+            self.v.load(ord)
+        }
+    }
+
+    /// Tracked store.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            self.v.store(p, Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            track_store(&ctx, tid, loc, ord);
+        } else {
+            self.v.store(p, ord);
+        }
+    }
+
+    /// Tracked swap (read-modify-write).
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            let out = self.v.swap(p, Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            track_rmw(&ctx, tid, loc, ord);
+            out
+        } else {
+            self.v.swap(p, ord)
+        }
+    }
+
+    /// Tracked compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        cur: *mut T,
+        new: *mut T,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_point(tid);
+            let r = self
+                .v
+                .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst);
+            let loc = self.loc.get(&ctx, new_atomic_loc);
+            match r {
+                Ok(_) => track_rmw(&ctx, tid, loc, succ),
+                Err(_) => track_load(&ctx, tid, loc, fail),
+            }
+            r
+        } else {
+            self.v.compare_exchange(cur, new, succ, fail)
+        }
+    }
+
+    /// Untracked exclusive access.
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.v.get_mut()
+    }
+}
+
+pub mod cell {
+    //! A tracked `UnsafeCell` with loom's closure-based access API.
+
+    use super::{active_model, LocHandle, LocSt};
+
+    /// A tracked `UnsafeCell`: every `with`/`with_mut` access is
+    /// checked against all other accesses for happens-before ordering,
+    /// and reads of never-written [`CheckCell::new_uninit`] cells are
+    /// diagnosed.
+    ///
+    /// Outside a model, accesses compile down to `UnsafeCell::get`.
+    #[derive(Debug)]
+    pub struct CheckCell<T> {
+        v: std::cell::UnsafeCell<T>,
+        loc: LocHandle,
+        born_init: bool,
+    }
+
+    // SAFETY: CheckCell adds only tracking state (plain atomics and a
+    // bool) to UnsafeCell<T>; it is exactly as Send/Sync as the loom
+    // UnsafeCell it mirrors — the *user* of the cell (e.g. the ring's
+    // `Inner`) is responsible for the cross-thread access discipline,
+    // which is precisely what the model checker verifies.
+    unsafe impl<T: Send> Send for CheckCell<T> {}
+    // SAFETY: see above; shared references only hand out raw pointers.
+    unsafe impl<T: Sync> Sync for CheckCell<T> {}
+
+    impl<T> CheckCell<T> {
+        /// A cell whose initial value counts as initialized.
+        pub fn new(v: T) -> Self {
+            Self {
+                v: std::cell::UnsafeCell::new(v),
+                loc: LocHandle::new(),
+                born_init: true,
+            }
+        }
+
+        /// A cell whose payload (typically `MaybeUninit`) is *not*
+        /// initialized: a model read before the first `with_mut` write
+        /// is reported as a bug.
+        pub fn new_uninit(v: T) -> Self {
+            Self {
+                v: std::cell::UnsafeCell::new(v),
+                loc: LocHandle::new(),
+                born_init: false,
+            }
+        }
+
+        fn mk_loc(&self) -> LocSt {
+            LocSt::Cell {
+                write: None,
+                reads: Vec::new(),
+                init: self.born_init,
+            }
+        }
+
+        /// Immutable (read) access. In a model: a scheduling point plus
+        /// a race/uninit check against every concurrent access.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            if let Some((ctx, tid)) = active_model() {
+                ctx.yield_point(tid);
+                let loc = self.loc.get(&ctx, || self.mk_loc());
+                ctx.with_loc(tid, loc, |l, clock| {
+                    if let LocSt::Cell { write, reads, init } = l {
+                        if !*init {
+                            return Err(format!(
+                                "thread {tid} read an uninitialized cell \
+                                 (no prior write to this slot)"
+                            ));
+                        }
+                        if let Some(w) = write {
+                            if !clock.covers(*w) {
+                                return Err(format!(
+                                    "data race: thread {tid} read a cell \
+                                     concurrently written by thread {} \
+                                     (write not ordered before the read)",
+                                    w.tid
+                                ));
+                            }
+                        }
+                        let e = clock.epoch(tid);
+                        if let Some(slot) = reads.iter_mut().find(|r| r.tid == tid) {
+                            *slot = e;
+                        } else {
+                            reads.push(e);
+                        }
+                    }
+                    Ok(())
+                });
+            }
+            f(self.v.get())
+        }
+
+        /// Mutable (write) access. In a model: a scheduling point plus
+        /// a race check against every concurrent read and write; marks
+        /// the cell initialized.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            if let Some((ctx, tid)) = active_model() {
+                ctx.yield_point(tid);
+                let loc = self.loc.get(&ctx, || self.mk_loc());
+                ctx.with_loc(tid, loc, |l, clock| {
+                    if let LocSt::Cell { write, reads, init } = l {
+                        if let Some(w) = write {
+                            if !clock.covers(*w) {
+                                return Err(format!(
+                                    "data race: thread {tid} wrote a cell \
+                                     concurrently written by thread {} \
+                                     (writes unordered)",
+                                    w.tid
+                                ));
+                            }
+                        }
+                        for r in reads.iter() {
+                            if !clock.covers(*r) {
+                                return Err(format!(
+                                    "data race: thread {tid} wrote a cell \
+                                     concurrently read by thread {} \
+                                     (read not ordered before the write)",
+                                    r.tid
+                                ));
+                            }
+                        }
+                        *write = Some(clock.epoch(tid));
+                        reads.clear();
+                        *init = true;
+                    }
+                    Ok(())
+                });
+            }
+            f(self.v.get())
+        }
+
+        /// Untracked exclusive access (`&mut self` rules out
+        /// concurrency; used by destructors).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.v.get_mut()
+        }
+    }
+}
+
+pub mod mutex {
+    //! A tracked mutex: blocking is modeled by the scheduler (the
+    //! waiting thread is descheduled, never spinning), lock/unlock
+    //! carry the usual acquire/release happens-before edges.
+
+    use super::{active_model, ExecCtx, LocHandle, LocSt, VClock};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::Arc;
+
+    /// Tracked `Mutex`. Inside a model, contention is resolved by the
+    /// scheduler (deadlocks are detected and reported); outside, it is
+    /// a plain `std::sync::Mutex`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+        loc: LocHandle,
+    }
+
+    /// Guard for [`Mutex`]; releases the model-level lock (a tracked
+    /// operation) before the underlying `std` guard.
+    pub struct MutexGuard<'a, T> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Arc<ExecCtx>, usize, usize)>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new tracked mutex.
+        pub const fn new(v: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(v),
+                loc: LocHandle::new(),
+            }
+        }
+
+        /// Locks, blocking (in model time) until available. The
+        /// `LockResult` mirrors `std`: inside a model it is always
+        /// `Ok` (a failing execution aborts instead of poisoning).
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            if let Some((ctx, tid)) = active_model() {
+                let loc = self.loc.get(&ctx, || LocSt::Mutex {
+                    held_by: None,
+                    sync: VClock::new(),
+                });
+                ctx.mutex_lock(tid, loc);
+                // The model-level lock is held, so no other model
+                // thread holds the std mutex; ignore poison left by an
+                // earlier aborted execution.
+                let g = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                Ok(MutexGuard {
+                    inner: Some(g),
+                    model: Some((ctx, tid, loc)),
+                })
+            } else {
+                match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+
+        /// Untracked exclusive access.
+        pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+            self.inner.get_mut()
+        }
+
+        /// Consumes the mutex, returning the value.
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after drop")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after drop")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some((ctx, tid, loc)) = self.model.take() {
+                // During an abort unwind the scheduler is gone; skip
+                // the model unlock (its state dies with the execution)
+                // rather than panic inside this drop.
+                if !std::thread::panicking() {
+                    ctx.mutex_unlock(tid, loc);
+                }
+            }
+            self.inner.take();
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+
+    use super::{active_model, sched};
+    use std::sync::Arc;
+
+    enum Imp<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            child: usize,
+            os: Option<std::thread::JoinHandle<()>>,
+            result: Arc<std::sync::Mutex<Option<T>>>,
+        },
+    }
+
+    /// Handle to a spawned (model or OS) thread.
+    pub struct JoinHandle<T> {
+        imp: Imp<T>,
+    }
+
+    /// Spawns a thread. Inside a model this registers a new model
+    /// thread (inheriting the spawner's clock — the spawn edge) whose
+    /// steps the scheduler interleaves; outside it is `std`'s spawn.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((ctx, tid)) = active_model() {
+            let child = ctx.register_thread(tid);
+            let result = Arc::new(std::sync::Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let os = sched::spawn_model_thread(Arc::clone(&ctx), child, move || {
+                let v = f();
+                *slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+            });
+            JoinHandle {
+                imp: Imp::Model {
+                    child,
+                    os: Some(os),
+                    result,
+                },
+            }
+        } else {
+            JoinHandle {
+                imp: Imp::Std(std::thread::spawn(f)),
+            }
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread: a scheduling point that blocks (in model
+        /// time) until the target finishes, then establishes the join
+        /// happens-before edge.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.imp {
+                Imp::Std(h) => h.join(),
+                Imp::Model {
+                    child,
+                    mut os,
+                    result,
+                } => {
+                    let (ctx, tid) =
+                        active_model().expect("model JoinHandle joined outside the model");
+                    ctx.join_thread(tid, child);
+                    if let Some(h) = os.take() {
+                        let _ = h.join();
+                    }
+                    match result
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                    {
+                        Some(v) => Ok(v),
+                        // Unreachable in practice: a child panic aborts
+                        // the execution before the join returns.
+                        None => Err(Box::new("model thread panicked")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Yield: in a model, deprioritizes the caller until another
+    /// thread has run (so spin-wait loops make progress under the
+    /// deterministic scheduler); outside, `std`'s yield.
+    pub fn yield_now() {
+        if let Some((ctx, tid)) = active_model() {
+            ctx.yield_now(tid);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -12,7 +12,10 @@ use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
 use pipeleon_sim::{
     BatchStats, EngineMode, ExecObservations, NicConfig, Packet, ShardMode, ShardedNic, SmartNic,
 };
-use pipeleon_verify::{lint_program, render_report, render_report_json, LintConfig, Severity};
+use pipeleon_verify::{
+    lint_concurrency_with_count, lint_program, render_report, render_report_json, LintConfig,
+    Severity,
+};
 use pipeleon_workloads::traffic::FlowGen;
 
 const USAGE: &str = "\
@@ -33,6 +36,7 @@ USAGE:
            [-o m.prom|m.json]
   pipeleon analyze  <program> [--target T] [--deny-warnings]
            [--format text|json]
+  pipeleon analyze  --concurrency [repo-root] [--format text|json]
   pipeleon inspect  <program> [--target T] [--profile p.json]
   pipeleon build    <program.p4> [-o out.json]
   pipeleon calibrate [--target T]
@@ -97,9 +101,18 @@ fn load_profile(args: &Args, g: &ProgramGraph) -> Result<RuntimeProfile, String>
 /// report. Exits nonzero on any error-severity diagnostic, or on any
 /// diagnostic at all under `--deny-warnings`.
 fn analyze(args: &Args) -> Result<(), String> {
-    let params = target(args)?;
-    let g = load_program(args)?;
-    let diags = lint_program(&g, &LintConfig::with_params(params));
+    let diags = if args.get_bool("concurrency") {
+        // Memory-model lint over the repository's own sources instead
+        // of a program: gate for the model-checked datapath (PV2xx).
+        let root = args.positional.get(1).map(String::as_str).unwrap_or(".");
+        let (diags, scanned) = lint_concurrency_with_count(std::path::Path::new(root))?;
+        eprintln!("concurrency lint: scanned {scanned} Rust files under {root}");
+        diags
+    } else {
+        let params = target(args)?;
+        let g = load_program(args)?;
+        lint_program(&g, &LintConfig::with_params(params))
+    };
     match args.get_or("format", "text") {
         "text" => println!("{}", render_report(&diags)),
         "json" => println!("{}", render_report_json(&diags)),
@@ -1066,6 +1079,13 @@ mod tests {
 
     fn examples_dir() -> std::path::PathBuf {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs")
+    }
+
+    #[test]
+    fn analyze_concurrency_gates_the_repository() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        run(&v(&["analyze", "--concurrency", root.to_str().unwrap()]))
+            .expect("the repository must pass its own memory-model lint");
     }
 
     #[test]

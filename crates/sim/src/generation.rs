@@ -30,36 +30,55 @@
 //!   steady state and memory stays bounded under swap storms.
 
 use crate::compiled::CompiledPipeline;
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use pipeleon_ir::{NextHops, NodeId, ProgramGraph, Table, TableEntry};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// An entry-op delta applied to the live generation. Control has already
 /// validated the operation against its replica before publishing, so
 /// shard-side application is infallible by construction.
 #[derive(Debug, Clone)]
-pub(crate) enum PatchOp {
+pub enum PatchOp {
     /// `insert_entry(node, entry)`.
-    Insert { node: NodeId, entry: TableEntry },
+    Insert {
+        /// Target table node.
+        node: NodeId,
+        /// Entry to append.
+        entry: TableEntry,
+    },
     /// `remove_entry(node, index)`.
-    Remove { node: NodeId, index: usize },
+    Remove {
+        /// Target table node.
+        node: NodeId,
+        /// Entry index within the node's table.
+        index: usize,
+    },
     /// `replace_table(node, table, next)`.
     Replace {
+        /// Target table node.
         node: NodeId,
+        /// Replacement table contents.
         table: Table,
+        /// Replacement next-hop wiring, if it changes.
         next: Option<NextHops>,
     },
 }
 
 /// What a generation publishes: a whole-program swap or a delta.
+// Under `--cfg pipeleon_check` this enum is exported for the model tests
+// (which only construct `Patch`); `Deploy` still carries the private
+// `CompiledPipeline`, which is fine — tests never name that variant.
+#[cfg_attr(pipeleon_check, allow(private_interfaces))]
 #[derive(Debug)]
-pub(crate) enum GenKind {
+pub enum GenKind {
     /// A full program swap. Carries the pre-built compiled pipeline (when
     /// the compiled engine is active) so shards adopt by cloning instead
     /// of each re-lowering the program on the datapath.
     Deploy {
+        /// The new program graph.
         graph: ProgramGraph,
+        /// Pre-lowered compiled pipeline, when the compiled engine is on.
         compiled: Option<CompiledPipeline>,
     },
     /// An entry-op delta against the previous generation's program.
@@ -68,24 +87,32 @@ pub(crate) enum GenKind {
 
 /// One published generation.
 #[derive(Debug)]
-pub(crate) struct GenNode {
+pub struct GenNode {
     /// Monotone generation id; ids are dense (latest id = chain length +
     /// reclaimed prefix).
     pub id: u64,
+    /// The published payload.
     pub kind: GenKind,
 }
 
 /// The shared publication chain. The dispatcher is the only publisher;
 /// shards read pending spans under the mutex when they adopt.
 #[derive(Debug)]
-pub(crate) struct GenChain {
+pub struct GenChain {
     nodes: Mutex<VecDeque<Arc<GenNode>>>,
     /// Highest published generation id (0 = the construction-time
     /// program, which is never on the chain).
     latest: AtomicU64,
 }
 
+impl Default for GenChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl GenChain {
+    /// An empty chain at generation 0.
     pub fn new() -> Self {
         Self {
             nodes: Mutex::new(VecDeque::new()),
@@ -95,14 +122,28 @@ impl GenChain {
 
     /// Highest published generation id.
     pub fn latest(&self) -> u64 {
+        // ORDERING: Acquire — pairs with the Release store in
+        // `publish`: a reader that observes generation id `g` also
+        // sees the chain node for `g` (the push_back under the mutex
+        // happens-before the Release store of `latest`). On the
+        // datapath this edge is belt-and-braces: the dispatcher reads
+        // `latest` on its own thread and the ring hand-off carries it
+        // to workers; `Acquire` keeps the standalone API safe too.
         self.latest.load(Ordering::Acquire)
     }
 
     /// Appends a new generation and returns its id.
     pub fn publish(&self, kind: GenKind) -> u64 {
         let mut nodes = self.nodes.lock().expect("generation chain poisoned");
+        // ORDERING: Acquire — same edge as `latest()`; also the mutex
+        // guarantees we are the only publisher in flight, so `id` is
+        // unique and dense.
         let id = self.latest.load(Ordering::Acquire) + 1;
         nodes.push_back(Arc::new(GenNode { id, kind }));
+        // ORDERING: Release — publishes the push_back above: any thread
+        // whose Acquire load of `latest` returns `id` finds the node on
+        // the chain (forward-only adoption relies on this; verified by
+        // the GenChain models in crates/sim/tests/model.rs).
         self.latest.store(id, Ordering::Release);
         id
     }
@@ -128,9 +169,15 @@ impl GenChain {
     }
 
     /// Unreclaimed chain length (test/debug visibility).
-    #[cfg(test)]
+    #[cfg(any(test, pipeleon_check))]
     pub fn len(&self) -> usize {
         self.nodes.lock().expect("generation chain poisoned").len()
+    }
+
+    /// Whether the chain is fully reclaimed (test/debug visibility).
+    #[cfg(any(test, pipeleon_check))]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

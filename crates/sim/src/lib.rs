@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! # pipeleon-sim — deterministic software SmartNIC emulator
 //!
@@ -66,6 +67,12 @@ pub mod cache;
 mod compiled;
 pub mod engine;
 pub mod exec;
+/// The epoch/RCU generation chain. Private in real builds (an internal
+/// detail of [`sharded`]); public under `--cfg pipeleon_check` so the
+/// model tests in `crates/sim/tests/model.rs` can drive it directly.
+#[cfg(pipeleon_check)]
+pub mod generation;
+#[cfg(not(pipeleon_check))]
 mod generation;
 pub mod nic;
 pub mod observe;
@@ -73,6 +80,7 @@ pub mod packet;
 pub mod ring;
 pub mod sharded;
 pub mod smallkey;
+pub(crate) mod sync;
 
 pub use backend::{LiveSwap, NicBackend};
 pub use cache::{LruCache, RateLimiter};

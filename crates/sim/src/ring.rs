@@ -26,16 +26,18 @@
 //!
 //! Memory ordering is the minimal Lamport protocol: each side publishes
 //! its own counter with `Release` after writing/consuming slots and reads
-//! the other side's with `Acquire` before trusting slot contents.
-//! Property tests ([`crate::ring`] has inline unit tests; the
-//! cross-thread suite lives in `crates/sim/tests/ring_props.rs`) check
-//! no-loss/no-duplication/no-reordering against a `VecDeque` model and a
-//! two-thread interleaving smoke.
+//! the other side's with `Acquire` before trusting slot contents. The
+//! happens-before graph is documented edge-by-edge on the ordering
+//! helpers below and spelled out in DESIGN.md §15; it is verified by the
+//! model-checked suite in `crates/sim/tests/model.rs` (build with
+//! `RUSTFLAGS="--cfg pipeleon_check"`), which also kills the seeded
+//! ordering mutants injectable through [`RingOrderings`] in model builds.
+//! Single-threaded behaviour is property-tested against a `VecDeque`
+//! model in `crates/sim/tests/ring_props.rs`.
 
-use std::cell::UnsafeCell;
+use crate::sync::{AtomicUsize, CheckCell, Ordering};
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pads a counter to its own cache line so producer and consumer
@@ -52,29 +54,150 @@ const PREFETCH_SLOTS: usize = 8;
 
 #[inline]
 fn prefetch_slot<T>(inner: &Inner<T>, idx: usize) {
-    #[cfg(target_arch = "x86_64")]
-    unsafe {
-        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-        _mm_prefetch(inner.buf[idx & inner.mask].get() as *const i8, _MM_HINT_T0);
-    }
-    #[cfg(not(target_arch = "x86_64"))]
+    // Model builds skip the hint: a prefetch is not a data access, and
+    // routing it through the tracked cell would register a spurious read
+    // of a slot the protocol has not handed to this side yet.
+    #[cfg(all(target_arch = "x86_64", not(pipeleon_check)))]
+    inner.buf[idx & inner.mask].with(|p| {
+        // SAFETY: `_mm_prefetch` only hints the cache with an address;
+        // it performs no load the memory model can observe, so it is
+        // sound on any pointer, including one to an uninitialized or
+        // concurrently-written slot.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(p as *const i8, _MM_HINT_T0);
+        }
+    });
+    #[cfg(not(all(target_arch = "x86_64", not(pipeleon_check))))]
     let _ = (inner, idx);
 }
 
+/// Ordering/bug injection for the model-checked mutant-kill suite: each
+/// field weakens one load/store of the Lamport protocol (or reorders a
+/// publication against its slot access), and `tests/model.rs` asserts
+/// the checker reports a counterexample for every single one. Only
+/// exists in `--cfg pipeleon_check` builds; real builds compile the
+/// correct orderings as constants.
+#[cfg(pipeleon_check)]
+#[derive(Clone, Copy, Debug)]
+pub struct RingOrderings {
+    /// Producer's publication of `tail` (correct: `Release`).
+    pub tail_store: Ordering,
+    /// Consumer's refresh of `tail` (correct: `Acquire`).
+    pub tail_load: Ordering,
+    /// Consumer's publication of `head` (correct: `Release`).
+    pub head_store: Ordering,
+    /// Producer's refresh of `head` (correct: `Acquire`).
+    pub head_load: Ordering,
+    /// Bug: publish `tail` *before* writing the slot.
+    pub publish_before_write: bool,
+    /// Bug: publish `head` *before* reading the slot.
+    pub advance_before_read: bool,
+}
+
+#[cfg(pipeleon_check)]
+impl Default for RingOrderings {
+    fn default() -> Self {
+        // ORDERING: the correct Lamport protocol — each counter is
+        // published with Release and refreshed with Acquire; the edge
+        // each pair implements is documented on the `Inner` ordering
+        // helpers below.
+        Self {
+            tail_store: Ordering::Release,
+            tail_load: Ordering::Acquire,
+            head_store: Ordering::Release,
+            head_load: Ordering::Acquire,
+            publish_before_write: false,
+            advance_before_read: false,
+        }
+    }
+}
+
 struct Inner<T> {
-    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    buf: Box<[CheckCell<MaybeUninit<T>>]>,
     mask: usize,
     /// Next slot to pop. Written only by the consumer.
     head: CachePadded<AtomicUsize>,
     /// Next slot to push. Written only by the producer.
     tail: CachePadded<AtomicUsize>,
+    #[cfg(pipeleon_check)]
+    ord: RingOrderings,
+}
+
+// The four orderings of the Lamport protocol, one helper each so the
+// happens-before edge is stated exactly once and the model build can
+// substitute a mutant. All compile to constants in real builds.
+impl<T> Inner<T> {
+    /// ORDERING: Release. Publishes the producer's slot writes in
+    /// `[old_tail, new_tail)`: they happen-before any consumer access
+    /// that observes the new `tail` through [`Inner::tail_load_ord`].
+    #[inline(always)]
+    fn tail_store_ord(&self) -> Ordering {
+        #[cfg(pipeleon_check)]
+        {
+            self.ord.tail_store
+        }
+        #[cfg(not(pipeleon_check))]
+        {
+            Ordering::Release
+        }
+    }
+
+    /// ORDERING: Acquire. Synchronizes with the producer's `Release`
+    /// store of `tail`: after the load, every slot in `[head, tail)` is
+    /// fully written and safe to read.
+    #[inline(always)]
+    fn tail_load_ord(&self) -> Ordering {
+        #[cfg(pipeleon_check)]
+        {
+            self.ord.tail_load
+        }
+        #[cfg(not(pipeleon_check))]
+        {
+            Ordering::Acquire
+        }
+    }
+
+    /// ORDERING: Release. Publishes the consumer's slot reads in
+    /// `[old_head, new_head)`: they happen-before any producer write
+    /// that observes the new `head` through [`Inner::head_load_ord`],
+    /// so a freed slot is never overwritten mid-read.
+    #[inline(always)]
+    fn head_store_ord(&self) -> Ordering {
+        #[cfg(pipeleon_check)]
+        {
+            self.ord.head_store
+        }
+        #[cfg(not(pipeleon_check))]
+        {
+            Ordering::Release
+        }
+    }
+
+    /// ORDERING: Acquire. Synchronizes with the consumer's `Release`
+    /// store of `head`: after the load, every slot below `head` has
+    /// been fully read out and may be rewritten.
+    #[inline(always)]
+    fn head_load_ord(&self) -> Ordering {
+        #[cfg(pipeleon_check)]
+        {
+            self.ord.head_load
+        }
+        #[cfg(not(pipeleon_check))]
+        {
+            Ordering::Acquire
+        }
+    }
 }
 
 // SAFETY: the SPSC protocol partitions slot access — the producer only
 // writes slots in `[tail, head + capacity)` and the consumer only reads
 // slots in `[head, tail)`, with the Release/Acquire pair on the counters
-// ordering the hand-off. Items of `T` move across threads, hence `Send`.
+// ordering the hand-off (verified by the model suite in
+// `crates/sim/tests/model.rs`). Items of `T` move across threads, hence
+// the `T: Send` bound on both impls.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: see above — `&Inner` only exposes the checked protocol.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
@@ -83,7 +206,11 @@ impl<T> Drop for Inner<T> {
         let head = *self.head.0.get_mut();
         let tail = *self.tail.0.get_mut();
         for i in head..tail {
-            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+            // SAFETY: `[head, tail)` is exactly the set of slots that
+            // were written by a push and never read out by a pop, so
+            // each holds a live `T`; `&mut self` rules out concurrent
+            // access.
+            unsafe { self.buf[i & self.mask].get_mut().assume_init_drop() };
         }
     }
 }
@@ -111,15 +238,35 @@ pub struct Consumer<T> {
 /// Creates an SPSC ring holding at least `capacity` items (rounded up to
 /// a power of two, minimum 2).
 pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    spsc_inner(
+        capacity,
+        #[cfg(pipeleon_check)]
+        RingOrderings::default(),
+    )
+}
+
+/// Creates a ring with injected (possibly mutant) orderings — the entry
+/// point of the model-checked mutant-kill suite. Model builds only.
+#[cfg(pipeleon_check)]
+pub fn spsc_with_orderings<T>(capacity: usize, ord: RingOrderings) -> (Producer<T>, Consumer<T>) {
+    spsc_inner(capacity, ord)
+}
+
+fn spsc_inner<T>(
+    capacity: usize,
+    #[cfg(pipeleon_check)] ord: RingOrderings,
+) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
-    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+    let buf: Box<[CheckCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| CheckCell::new_uninit(MaybeUninit::uninit()))
         .collect();
     let inner = Arc::new(Inner {
         buf,
         mask: cap - 1,
         head: CachePadded(AtomicUsize::new(0)),
         tail: CachePadded(AtomicUsize::new(0)),
+        #[cfg(pipeleon_check)]
+        ord,
     });
     (
         Producer {
@@ -143,22 +290,57 @@ impl<T> Producer<T> {
 
     /// Free slots, refreshing the consumer's position.
     pub fn free(&mut self) -> usize {
-        self.head_cache = self.inner.head.0.load(Ordering::Acquire);
+        // ORDERING: Acquire (see `head_load_ord`) — the consumer's reads
+        // of the slots below the loaded `head` happen-before this load,
+        // so those slots are ours to overwrite.
+        self.head_cache = self.inner.head.0.load(self.inner.head_load_ord());
         self.capacity() - (self.tail - self.head_cache)
+    }
+
+    /// Writes `value` into the current tail slot (no publication).
+    #[inline(always)]
+    fn write_slot(&mut self, value: T) {
+        self.inner.buf[self.tail & self.inner.mask].with_mut(|p| {
+            // SAFETY: `tail - head_cache < capacity` was just checked,
+            // so this slot is outside the consumer's readable window
+            // `[head, tail)`; we are the only producer, hence the only
+            // writer of it. Writing `MaybeUninit` needs no drop of the
+            // previous (already-read-out or never-written) contents.
+            unsafe { (*p).write(value) };
+        });
     }
 
     /// Pushes one item; returns it back if the ring is full.
     pub fn push(&mut self, value: T) -> Result<(), T> {
         if self.tail - self.head_cache == self.capacity() {
-            self.head_cache = self.inner.head.0.load(Ordering::Acquire);
+            // ORDERING: Acquire (see `head_load_ord`) — refresh the
+            // consumer position; freed slots are safe to rewrite.
+            self.head_cache = self.inner.head.0.load(self.inner.head_load_ord());
             if self.tail - self.head_cache == self.capacity() {
                 return Err(value);
             }
         }
-        unsafe { (*self.inner.buf[self.tail & self.inner.mask].get()).write(value) };
+        #[cfg(pipeleon_check)]
+        if self.inner.ord.publish_before_write {
+            // MUTANT: publish the slot before writing it — the consumer
+            // can observe the new tail and read uninitialized memory.
+            self.inner
+                .tail
+                .0
+                .store(self.tail + 1, self.inner.tail_store_ord());
+            self.write_slot(value);
+            self.tail += 1;
+            return Ok(());
+        }
+        self.write_slot(value);
         prefetch_slot(&self.inner, self.tail + PREFETCH_SLOTS);
         self.tail += 1;
-        self.inner.tail.0.store(self.tail, Ordering::Release);
+        // ORDERING: Release (see `tail_store_ord`) — publishes the slot
+        // write above to the consumer's Acquire load of `tail`.
+        self.inner
+            .tail
+            .0
+            .store(self.tail, self.inner.tail_store_ord());
         Ok(())
     }
 
@@ -171,7 +353,7 @@ impl<T> Producer<T> {
         while n < free {
             match items.next() {
                 Some(v) => {
-                    unsafe { (*self.inner.buf[self.tail & self.inner.mask].get()).write(v) };
+                    self.write_slot(v);
                     prefetch_slot(&self.inner, self.tail + PREFETCH_SLOTS);
                     self.tail += 1;
                     n += 1;
@@ -180,7 +362,13 @@ impl<T> Producer<T> {
             }
         }
         if n > 0 {
-            self.inner.tail.0.store(self.tail, Ordering::Release);
+            // ORDERING: Release (see `tail_store_ord`) — one publication
+            // covers every slot write of the burst: all of them
+            // happen-before a consumer access that observes this tail.
+            self.inner
+                .tail
+                .0
+                .store(self.tail, self.inner.tail_store_ord());
         }
         n
     }
@@ -199,21 +387,59 @@ impl<T> Consumer<T> {
 
     /// Items currently queued, refreshing the producer's position.
     pub fn len(&mut self) -> usize {
-        self.tail_cache = self.inner.tail.0.load(Ordering::Acquire);
+        // ORDERING: Acquire (see `tail_load_ord`) — the producer's slot
+        // writes below the loaded `tail` happen-before this load, so
+        // every queued slot is fully initialized before we read it.
+        self.tail_cache = self.inner.tail.0.load(self.inner.tail_load_ord());
         self.tail_cache - self.head
+    }
+
+    /// Reads the current head slot out (no publication).
+    #[inline(always)]
+    fn read_slot(&self) -> T {
+        self.inner.buf[self.head & self.inner.mask].with(|p| {
+            // SAFETY: `head < tail_cache` (checked by the caller), and
+            // the Acquire load of `tail` ordered the producer's write of
+            // this slot before us, so it holds a live `T`; reading it
+            // out transfers ownership, and the subsequent `head`
+            // publication tells the producer the slot is reusable.
+            unsafe { (*p).assume_init_read() }
+        })
     }
 
     /// Pops one item, or `None` if the ring is empty.
     pub fn pop(&mut self) -> Option<T> {
         if self.head == self.tail_cache {
-            self.tail_cache = self.inner.tail.0.load(Ordering::Acquire);
+            // ORDERING: Acquire (see `tail_load_ord`) — refresh the
+            // producer position; queued slots are initialized.
+            self.tail_cache = self.inner.tail.0.load(self.inner.tail_load_ord());
             if self.head == self.tail_cache {
                 return None;
             }
         }
-        let v = unsafe { (*self.inner.buf[self.head & self.inner.mask].get()).assume_init_read() };
+        #[cfg(pipeleon_check)]
+        if self.inner.ord.advance_before_read {
+            // MUTANT: free the slot before reading it — the producer can
+            // observe the new head and overwrite the slot mid-read.
+            self.head += 1;
+            self.inner
+                .head
+                .0
+                .store(self.head, self.inner.head_store_ord());
+            self.head -= 1;
+            let v = self.read_slot();
+            self.head += 1;
+            return Some(v);
+        }
+        let v = self.read_slot();
         self.head += 1;
-        self.inner.head.0.store(self.head, Ordering::Release);
+        // ORDERING: Release (see `head_store_ord`) — publishes the slot
+        // read above to the producer's Acquire load of `head`, so the
+        // producer only rewrites the slot after our read completed.
+        self.inner
+            .head
+            .0
+            .store(self.head, self.inner.head_store_ord());
         Some(v)
     }
 
@@ -223,13 +449,18 @@ impl<T> Consumer<T> {
         let avail = self.len().min(max);
         for _ in 0..avail {
             prefetch_slot(&self.inner, self.head + PREFETCH_SLOTS);
-            let v =
-                unsafe { (*self.inner.buf[self.head & self.inner.mask].get()).assume_init_read() };
+            let v = self.read_slot();
             self.head += 1;
             out.push(v);
         }
         if avail > 0 {
-            self.inner.head.0.store(self.head, Ordering::Release);
+            // ORDERING: Release (see `head_store_ord`) — one publication
+            // covers every slot read of the burst: all of them
+            // happen-before a producer write that observes this head.
+            self.inner
+                .head
+                .0
+                .store(self.head, self.inner.head_store_ord());
         }
         avail
     }
@@ -304,7 +535,8 @@ mod tests {
         struct Counted;
         impl Drop for Counted {
             fn drop(&mut self) {
-                DROPS.fetch_add(1, Ordering::SeqCst);
+                // ORDERING: SeqCst — test-only counter, no data guarded.
+                DROPS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             }
         }
         let (mut p, mut c) = spsc::<Counted>(4);
@@ -312,10 +544,16 @@ mod tests {
             p.push(Counted).unwrap();
         }
         drop(c.pop());
-        let before = DROPS.load(Ordering::SeqCst);
+        // ORDERING: SeqCst — test-only counter, no data guarded.
+        let before = DROPS.load(std::sync::atomic::Ordering::SeqCst);
         assert_eq!(before, 1);
         drop(p);
         drop(c);
-        assert_eq!(DROPS.load(Ordering::SeqCst), 3, "ring must drop leftovers");
+        // ORDERING: SeqCst — test-only counter, no data guarded.
+        assert_eq!(
+            DROPS.load(std::sync::atomic::Ordering::SeqCst),
+            3,
+            "ring must drop leftovers"
+        );
     }
 }

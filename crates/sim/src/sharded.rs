@@ -119,12 +119,12 @@ use crate::nic::{BatchStats, NicConfig, PacketRecord, ShardMode};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::ring;
+use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use fxhash::FxHashMap;
 use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle, Thread};
 use std::time::Instant;
 
@@ -443,7 +443,17 @@ fn drain_burst(cell: &ShardCell, buf: &mut Vec<WorkItem>) -> usize {
         total += n;
     }
     if total > 0 {
+        // ORDERING: Release — publishes the shard-state mutations of
+        // this drain (made under the lock above) to the dispatcher's
+        // Acquire load in `reclaim_adopted`: a chain node is only
+        // reclaimed after the adoption that read it happens-before the
+        // reclaim decision.
         cell.adopted.store(st.gen, Ordering::Release);
+        // ORDERING: Release — pairs with the dispatcher's Acquire loads
+        // in `wait_idle`/`in_flight`/`flush_stage`: when the dispatcher
+        // observes `processed == enqueued`, every item's execution (and
+        // its profile/stat writes under the shard lock) happens-before
+        // whatever the dispatcher does next with the results.
         cell.processed.fetch_add(total as u64, Ordering::Release);
     }
     total
@@ -454,6 +464,9 @@ fn worker_loop(cell: Arc<ShardCell>) {
     let mut spins: u32 = 0;
     loop {
         if drain_burst(&cell, &mut burst) == 0 {
+            // ORDERING: Acquire — pairs with teardown's Release store:
+            // observing `stop` also shows every item enqueued before the
+            // flag was raised (checked by the fresh drain above).
             if cell.stop.load(Ordering::Acquire) {
                 // Fresh look at the ring *after* observing stop: items
                 // enqueued before the flag must still drain. (The
@@ -639,6 +652,10 @@ impl ShardedNic {
         let capacity =
             (RING_TOTAL_SLOTS / self.shards.len()).clamp(RING_CAPACITY_MIN, RING_CAPACITY_MAX);
         for cell in &self.shards {
+            // ORDERING: Release — clears the flag before the worker
+            // thread is spawned; `thread::spawn` itself orders this
+            // store before everything the worker does, Release keeps
+            // the pattern uniform with teardown.
             cell.stop.store(false, Ordering::Release);
             let (tx, rx) = ring::spsc::<WorkItem>(capacity);
             cell.state.lock().expect("shard state poisoned").rx = Some(rx);
@@ -662,6 +679,10 @@ impl ShardedNic {
     fn teardown_workers(&mut self) {
         if let Some(run) = self.run.take() {
             for cell in &self.shards {
+                // ORDERING: Release — everything enqueued before
+                // teardown happens-before the flag: a worker that
+                // observes `stop` (Acquire) and then finds its ring
+                // empty has provably processed all of it.
                 cell.stop.store(true, Ordering::Release);
             }
             for t in &run.threads {
@@ -691,6 +712,9 @@ impl ShardedNic {
         let run = self.run.as_ref().expect("run-loop workers alive");
         if run.wake_during_dispatch {
             for (i, cell) in self.shards.iter().enumerate() {
+                // ORDERING: Acquire — pairs with the worker's Release
+                // fetch_add in `drain_burst` (see there); an equal count
+                // means all processing effects are visible here.
                 if cell.processed.load(Ordering::Acquire) != self.enqueued[i] {
                     run.threads[i].unpark();
                 }
@@ -699,6 +723,9 @@ impl ShardedNic {
         loop {
             let mut all_drained = true;
             for (i, cell) in self.shards.iter().enumerate() {
+                // ORDERING: Acquire — same edge as above; the batch is
+                // only declared drained once every worker's Release
+                // publication has been observed.
                 if cell.processed.load(Ordering::Acquire) != self.enqueued[i] {
                     all_drained = false;
                     drain_burst(cell, &mut self.help_scratch);
@@ -727,6 +754,9 @@ impl ShardedNic {
             for cell in &self.shards {
                 let mut st = cell.state.lock().expect("shard state poisoned");
                 st.adopt_to(latest);
+                // ORDERING: Release — same edge as the `drain_burst`
+                // publication: the adoption work under the lock
+                // happens-before any reclaim that observes this value.
                 cell.adopted.store(st.gen, Ordering::Release);
             }
             self.chain.reclaim(latest);
@@ -738,6 +768,9 @@ impl ShardedNic {
         self.shards
             .iter()
             .enumerate()
+            // ORDERING: Acquire — pairs with `drain_burst`'s Release
+            // fetch_add; monotone, so a stale read only overstates the
+            // in-flight count (never invents completion).
             .map(|(i, c)| self.enqueued[i] - c.processed.load(Ordering::Acquire))
             .sum()
     }
@@ -748,6 +781,11 @@ impl ShardedNic {
         let min = self
             .shards
             .iter()
+            // ORDERING: Acquire — pairs with the Release stores of
+            // `adopted` in `drain_burst`/`wait_idle`/`process_one`: a
+            // node is dropped only after every shard's walk past it is
+            // visible, so no shard can still read a reclaimed node
+            // (verified by the GenChain reclaim model).
             .map(|c| c.adopted.load(Ordering::Acquire))
             .min()
             .unwrap_or(0);
@@ -1113,6 +1151,9 @@ impl ShardedNic {
                     help,
                 );
             }
+            // ORDERING: Acquire — pairs with `drain_burst`'s Release
+            // fetch_add; a lagging count means the worker may be parked
+            // with work pending, so kick it.
             if run.wake_during_dispatch
                 && shards[shard].processed.load(Ordering::Acquire) != enqueued[shard]
             {
@@ -1133,6 +1174,8 @@ impl ShardedNic {
         if self.live {
             if self.latest_gen > st.gen {
                 st.adopt_to(self.latest_gen);
+                // ORDERING: Release — same edge as the `drain_burst`
+                // publication of `adopted` (see there).
                 cell.adopted.store(st.gen, Ordering::Release);
             }
             let g = st.gen;

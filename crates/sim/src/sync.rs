@@ -1,0 +1,97 @@
+//! The `std`-vs-model synchronization facade (loom's `cfg(loom)` idiom).
+//!
+//! The lock-free datapath modules ([`crate::ring`], [`crate::generation`
+//! when building with `--cfg pipeleon_check`], [`crate::sharded`]) import
+//! every synchronization primitive from here instead of `std::sync`:
+//!
+//! - **Real builds** (`cfg(not(pipeleon_check))`): re-exports of the
+//!   plain `std` types plus [`CheckCell`], an `#[inline(always)]`
+//!   zero-cost newtype over `UnsafeCell` with loom's closure-based
+//!   access API. Codegen is identical to using `std::sync` directly —
+//!   the throughput bench must not move when this facade changes.
+//! - **Model builds** (`RUSTFLAGS="--cfg pipeleon_check"`): the same
+//!   names resolve to `pipeleon-check`'s tracked shims, so the model
+//!   tests in `crates/sim/tests/model.rs` explore interleavings of the
+//!   *actual datapath sources*, not a parallel copy that could drift.
+//!
+//! `Ordering` is always `std`'s — the tracked shims take the real
+//! orderings and interpret them with vector clocks, which is how a
+//! weakened ordering shows up as a detected race rather than a compile
+//! error.
+
+#[cfg(pipeleon_check)]
+pub(crate) use pipeleon_check::cell::CheckCell;
+#[cfg(pipeleon_check)]
+pub(crate) use pipeleon_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(pipeleon_check)]
+pub(crate) use pipeleon_check::sync::Mutex;
+
+#[cfg(not(pipeleon_check))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(not(pipeleon_check))]
+pub(crate) use std::sync::Mutex;
+
+pub(crate) use std::sync::atomic::Ordering;
+
+#[cfg(not(pipeleon_check))]
+mod plain_cell {
+    use std::cell::UnsafeCell;
+
+    /// Zero-cost stand-in for `pipeleon_check::cell::CheckCell`: the
+    /// same closure-based access API over a plain `UnsafeCell`, with
+    /// every method `#[inline(always)]` so real builds compile to the
+    /// exact loads/stores the pre-facade code produced.
+    #[derive(Debug)]
+    pub(crate) struct CheckCell<T>(UnsafeCell<T>);
+
+    // SAFETY: CheckCell is a transparent wrapper over UnsafeCell; it
+    // inherits UnsafeCell's aliasing obligations unchanged, and the
+    // cross-thread access discipline is the responsibility of the
+    // containing type (e.g. the ring's `Inner`, whose SPSC protocol is
+    // verified by the model checker). The bounds mirror the tracked
+    // CheckCell so both cfgs accept the same containing types.
+    unsafe impl<T: Send> Send for CheckCell<T> {}
+    // SAFETY: see above — shared references only hand out raw pointers;
+    // dereferencing them is the caller's (checked) obligation.
+    unsafe impl<T: Sync> Sync for CheckCell<T> {}
+
+    impl<T> CheckCell<T> {
+        /// A cell with an initialized payload. Kept for API parity with
+        /// the tracked variant even when the datapath only constructs
+        /// uninitialized slots.
+        #[allow(dead_code)]
+        #[inline(always)]
+        pub(crate) fn new(v: T) -> Self {
+            Self(UnsafeCell::new(v))
+        }
+
+        /// A cell whose payload (typically `MaybeUninit`) starts
+        /// uninitialized. Identical to [`CheckCell::new`] here; the
+        /// tracked variant diagnoses reads before the first write.
+        #[inline(always)]
+        pub(crate) fn new_uninit(v: T) -> Self {
+            Self(UnsafeCell::new(v))
+        }
+
+        /// Immutable (read) access via raw pointer.
+        #[inline(always)]
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Mutable (write) access via raw pointer.
+        #[inline(always)]
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Exclusive access (no synchronization involved).
+        #[inline(always)]
+        pub(crate) fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+    }
+}
+
+#[cfg(not(pipeleon_check))]
+pub(crate) use plain_cell::CheckCell;

@@ -24,9 +24,11 @@
 
 #![forbid(unsafe_code)]
 
+mod concurrency;
 mod lints;
 mod plan;
 
+pub use concurrency::{lint_concurrency, lint_concurrency_with_count};
 pub use lints::{lint_program, LintConfig};
 pub use plan::{
     verify_candidate, CandidateSpec, PlanVerifier, RewriteKind, SegmentSpec, Verdict, Violation,
@@ -54,7 +56,8 @@ impl fmt::Display for Severity {
 }
 
 /// Typed diagnostic codes. `PV0xx` are program lints, `PV1xx` are
-/// plan-safety violations.
+/// plan-safety violations, `PV2xx` are memory-model (concurrency)
+/// lints over the repository's own datapath sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// PV001: a match key, branch condition, or action operand reads a
@@ -95,6 +98,20 @@ pub enum Code {
     /// PV106: the verifier's path budget was exhausted, so legality could
     /// not be proven; the candidate is conservatively rejected.
     PathBudget,
+    /// PV201: `Ordering::Relaxed` in a datapath source — outside the
+    /// envelope the model-checked protocol proofs cover.
+    RelaxedOrdering,
+    /// PV202: `unsafe` in a file outside the audited allowlist.
+    UnsafeOutsideAllowlist,
+    /// PV203: an allowlisted `unsafe` site without a `// SAFETY:`
+    /// comment nearby.
+    MissingSafetyComment,
+    /// PV204: an atomic operation in a datapath source without an
+    /// `// ORDERING:` comment stating its happens-before edge.
+    MissingOrderingComment,
+    /// PV205: a raw `std::sync` primitive in a datapath source instead
+    /// of the `crate::sync` facade the model build swaps out.
+    RawAtomicOutsideFacade,
 }
 
 impl Code {
@@ -114,6 +131,11 @@ impl Code {
             Code::MergeUnsafe => "PV104",
             Code::NonContiguous => "PV105",
             Code::PathBudget => "PV106",
+            Code::RelaxedOrdering => "PV201",
+            Code::UnsafeOutsideAllowlist => "PV202",
+            Code::MissingSafetyComment => "PV203",
+            Code::MissingOrderingComment => "PV204",
+            Code::RawAtomicOutsideFacade => "PV205",
         }
     }
 
