@@ -8,7 +8,8 @@ use pipeleon::{Optimizer, OptimizerConfig, ResourceLimits};
 use pipeleon_cost::{Calibrator, CostModel, CostParams, ResourceModel, RuntimeProfile};
 use pipeleon_ir::json::{from_json_string, to_json_string};
 use pipeleon_ir::ProgramGraph;
-use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
+use pipeleon_net::{FieldMap, IngestConfig, IngestServer, NetClient};
+use pipeleon_obs::{EventJournal, EventKind, LatencyHistogram, MetricsRegistry};
 use pipeleon_sim::{
     BatchStats, EngineMode, ExecObservations, NicConfig, Packet, ShardMode, ShardedNic, SmartNic,
 };
@@ -17,6 +18,7 @@ use pipeleon_verify::{
     Severity,
 };
 use pipeleon_workloads::traffic::FlowGen;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 pipeleon — profile-guided P4 SmartNIC optimizer (SIGCOMM'23 reproduction)
@@ -37,6 +39,15 @@ USAGE:
   pipeleon analyze  <program> [--target T] [--deny-warnings]
            [--format text|json]
   pipeleon analyze  --concurrency [repo-root] [--format text|json]
+  pipeleon serve    <program> [--listen ADDR] [--target T] [--workers N]
+           [--engine compiled|interp] [--shard-mode run-loop|bit-exact]
+           [--batch N] [--burst N] [--sample N] [--live-reconfig]
+           [--max-packets N] [--idle-timeout-ms MS] [--tick-packets N]
+           [--addr-file f] [--metrics-out m.prom|m.json]
+           [--journal-out j.jsonl]
+  pipeleon drive    <program> --connect ADDR [--packets N] [--flows N]
+           [--zipf S] [--seed S] [--window N] [--timeout-ms MS]
+           [--metrics-out m.prom|m.json]
   pipeleon inspect  <program> [--target T] [--profile p.json]
   pipeleon build    <program.p4> [-o out.json]
   pipeleon calibrate [--target T]
@@ -52,6 +63,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("simulate") => simulate(&args),
         Some("metrics") => metrics_summary(&args),
         Some("analyze") => analyze(&args),
+        Some("serve") => serve(&args),
+        Some("drive") => drive(&args),
         Some("inspect") => inspect(&args),
         Some("build") => build(&args),
         Some("calibrate") => calibrate(&args),
@@ -642,6 +655,254 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
     Ok(())
 }
 
+/// Termination and control-loop knobs for `serve`.
+struct ServeLimits {
+    /// Stop after this many well-formed frames (0 = serve forever).
+    max_packets: u64,
+    /// Stop after this long without traffic (zero = never).
+    idle_timeout: Duration,
+    /// Run a controller tick every N served frames (0 = no controller).
+    tick_packets: u64,
+}
+
+/// `serve`: bind a UDP socket and answer live peers through the
+/// datapath. Frames decode via the program's wire contract, run through
+/// `process_batch`, and each verdict is echoed to its sender. With
+/// `--tick-packets N` the runtime controller ticks against the serving
+/// backend every N frames, reoptimizing (and, with `--live-reconfig`,
+/// generation-swapping) under the socket traffic.
+fn serve(args: &Args) -> Result<(), String> {
+    let params = target(args)?;
+    let g = load_program(args)?;
+    lint_preflight(&g, &params)?;
+    let map = FieldMap::from_graph(&g).map_err(|e| format!("{:?}: {e}", g.name))?;
+    let listen = args.get_or("listen", "127.0.0.1:9900");
+    let config = IngestConfig {
+        burst: args.get_usize("burst", 64)?.max(1),
+        max_frame: args.get_usize("max-frame", 2048)?,
+    };
+    let server =
+        IngestServer::bind(listen, config).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("addr-file") {
+        // Lets scripts discover an OS-assigned port (--listen host:0).
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!(
+        "serving {:?} on {addr}: {} header-bound field(s), {} residue slot(s), {}-byte frames",
+        g.name,
+        map.bound().len(),
+        map.residue().len(),
+        map.frame_len()
+    );
+    let engine = engine_mode(args)?;
+    let workers = args.get_usize("workers", 1)?;
+    let sample = args.get_usize("sample", 1)?.max(1) as u64;
+    let nic_config = NicConfig {
+        batch: args.get_usize("batch", 32)?.max(1),
+        shard_mode: shard_mode(args)?,
+        ..NicConfig::default()
+    };
+    let limits = ServeLimits {
+        max_packets: args.get_usize("max-packets", 0)? as u64,
+        idle_timeout: Duration::from_millis(args.get_usize("idle-timeout-ms", 0)? as u64),
+        tick_packets: args.get_usize("tick-packets", 0)? as u64,
+    };
+    let sharded = workers > 1 || args.get("shard-mode").is_some();
+    if sharded {
+        let mut nic = ShardedNic::new(g.clone(), params.clone(), workers)
+            .map_err(|e| e.to_string())?
+            .with_config(nic_config);
+        nic.set_engine_mode(engine);
+        nic.set_live_reconfig(args.get_bool("live-reconfig"));
+        nic.set_instrumentation(true, sample);
+        run_serve(args, server, nic, &g, params, &map, &limits)
+    } else {
+        let mut nic = SmartNic::new(g.clone(), params.clone())
+            .map_err(|e| e.to_string())?
+            .with_config(nic_config);
+        nic.set_engine_mode(engine);
+        nic.set_live_reconfig(args.get_bool("live-reconfig"));
+        nic.set_instrumentation(true, sample);
+        run_serve(args, server, nic, &g, params, &map, &limits)
+    }
+}
+
+/// The serving loop proper, over either backend: plain polling, or
+/// polling interleaved with controller ticks when `--tick-packets` > 0.
+fn run_serve<N: pipeleon_sim::NicBackend>(
+    args: &Args,
+    mut server: IngestServer,
+    nic: N,
+    g: &ProgramGraph,
+    params: CostParams,
+    map: &FieldMap,
+    limits: &ServeLimits,
+) -> Result<(), String> {
+    use pipeleon_runtime::{Controller, ControllerConfig, SimTarget};
+    let mut reg = MetricsRegistry::new();
+    let mut journal = None;
+    let mut reconfigs = None;
+    if limits.tick_packets > 0 {
+        let optimizer = Optimizer::new(CostModel::new(params));
+        let mut c = Controller::new(
+            SimTarget::live(nic),
+            g.clone(),
+            optimizer,
+            ControllerConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let mut last_rx = Instant::now();
+        let mut ticked_at = 0u64;
+        loop {
+            let received = server
+                .poll_once(&mut c.target.nic, map)
+                .map_err(|e| format!("socket error on {:?}: {e}", g.name))?;
+            if received == 0 {
+                if limits.idle_timeout > Duration::ZERO && last_rx.elapsed() >= limits.idle_timeout
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                last_rx = Instant::now();
+            }
+            let frames = server.stats().frames;
+            if frames >= ticked_at + limits.tick_packets {
+                ticked_at = frames;
+                let r = c.tick().map_err(|e| e.to_string())?;
+                eprintln!(
+                    "tick at {frames} frames: change {:.3} {}{}",
+                    if r.profile_change.is_finite() {
+                        r.profile_change
+                    } else {
+                        9.999
+                    },
+                    if r.reoptimized { "reopt" } else { "idle" },
+                    if r.deployed {
+                        format!(" deployed (gain {:.1} ns/pkt)", r.est_gain_ns)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            if limits.max_packets > 0 && frames >= limits.max_packets {
+                break;
+            }
+        }
+        let obs = c.target.nic.take_observations();
+        datapath_metrics_into(c.metrics_mut(), g, None, &obs);
+        server.metrics_into(c.metrics_mut());
+        reg = std::mem::take(c.metrics_mut());
+        journal = Some(c.journal().clone());
+        reconfigs = Some(c.reconfig_count);
+    } else {
+        let mut nic = nic;
+        let mut last_rx = Instant::now();
+        loop {
+            let received = server
+                .poll_once(&mut nic, map)
+                .map_err(|e| format!("socket error on {:?}: {e}", g.name))?;
+            if received == 0 {
+                if limits.idle_timeout > Duration::ZERO && last_rx.elapsed() >= limits.idle_timeout
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                last_rx = Instant::now();
+            }
+            if limits.max_packets > 0 && server.stats().frames >= limits.max_packets {
+                break;
+            }
+        }
+        let obs = nic.take_observations();
+        datapath_metrics_into(&mut reg, g, None, &obs);
+        server.metrics_into(&mut reg);
+    }
+    let s = server.stats();
+    println!("frames served:     {}", s.frames);
+    println!("responses sent:    {}", s.responses);
+    println!("decode errors:     {}", s.decode_errors);
+    println!(
+        "drops:             {} (oversize {}, encode {}, tx {})",
+        s.dropped() - s.decode_errors,
+        s.oversize,
+        s.encode_errors,
+        s.tx_dropped
+    );
+    let h = server.e2e();
+    if h.count() > 0 {
+        println!(
+            "e2e latency (ns):  p50 {}  p99 {}  max {}",
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max_ns().unwrap_or(0)
+        );
+    }
+    if let Some(r) = reconfigs {
+        println!("reconfigurations:  {r}");
+    }
+    if let Some(path) = args.get("metrics-out") {
+        write_metrics(path, &reg)?;
+    }
+    if let Some(path) = args.get("journal-out") {
+        if let Some(j) = &journal {
+            write_journal(path, j)?;
+        }
+    }
+    Ok(())
+}
+
+/// `drive`: replay generated (or trace-driven) traffic for a program
+/// against a serving pipeleon instance over a real socket, and fail
+/// hard unless every packet comes back well-formed.
+fn drive(args: &Args) -> Result<(), String> {
+    let g = load_program(args)?;
+    let map = FieldMap::from_graph(&g).map_err(|e| format!("{:?}: {e}", g.name))?;
+    let connect = args
+        .get("connect")
+        .ok_or("missing --connect ADDR (the serving pipeleon instance)")?;
+    let packets = args.get_usize("packets", 20_000)?;
+    let batch = gen_batch(args, &g, packets)?;
+    let client = NetClient::connect(connect)
+        .map_err(|e| format!("cannot reach {connect}: {e}"))?
+        .with_window(args.get_usize("window", 128)?)
+        .with_timeout(Duration::from_millis(
+            args.get_usize("timeout-ms", 5000)? as u64
+        ));
+    let t0 = Instant::now();
+    let report = client.replay(&batch, &map).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let dropped = report.echoes.iter().filter(|e| e.packet.dropped).count();
+    println!("sent:              {}", batch.len());
+    println!("echoed:            {}", report.echoes.len());
+    println!("decode errors:     {}", report.decode_errors);
+    println!("dropped verdicts:  {dropped}");
+    println!("mean RTT (ns):     {:.0}", report.mean_rtt_ns());
+    println!("replay rate:       {:.0} pps", batch.len() as f64 / elapsed);
+    if let Some(path) = args.get("metrics-out") {
+        let mut reg = MetricsRegistry::new();
+        reg.help(
+            "pipeleon_client_rtt_ns",
+            "Per-request round-trip time observed by the traffic driver",
+        );
+        let mut h = LatencyHistogram::new();
+        for e in &report.echoes {
+            h.record_ns(e.rtt_ns);
+        }
+        reg.merge_histogram("pipeleon_client_rtt_ns", &[], &h);
+        write_metrics(path, &reg)?;
+    }
+    if report.decode_errors > 0 {
+        return Err(format!(
+            "replay saw {} malformed response(s)",
+            report.decode_errors
+        ));
+    }
+    Ok(())
+}
+
 fn inspect(args: &Args) -> Result<(), String> {
     let params = target(args)?;
     let g = load_program(args)?;
@@ -716,6 +977,20 @@ mod tests {
         s.iter().map(|x| x.to_string()).collect()
     }
 
+    /// Runs a CLI invocation the test requires to succeed, naming the
+    /// full argv on failure (a bare `unwrap` points at nothing
+    /// actionable when a multi-step test dies mid-pipeline).
+    fn run_expect(argv: &[&str]) {
+        run(&v(argv)).unwrap_or_else(|e| panic!("`pipeleon {}` failed: {e}", argv.join(" ")));
+    }
+
+    /// Reads back an artifact a CLI command was asked to write, naming
+    /// the path on failure.
+    fn read_artifact(path: &std::path::Path) -> String {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read artifact {}: {e}", path.display()))
+    }
+
     fn write_sample_program(dir: &std::path::Path) -> std::path::PathBuf {
         use pipeleon_ir::{MatchKind, MatchValue, ProgramBuilder, TableEntry};
         let mut b = ProgramBuilder::named("cli_sample");
@@ -751,15 +1026,15 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let prog = write_sample_program(&dir);
         let out = dir.join("out.json");
-        run(&v(&[
+        run_expect(&[
             "optimize",
             prog.to_str().unwrap(),
             "-o",
             out.to_str().unwrap(),
-        ]))
-        .unwrap();
-        let text = std::fs::read_to_string(&out).unwrap();
-        let g = from_json_string(&text).unwrap();
+        ]);
+        let text = read_artifact(&out);
+        let g = from_json_string(&text)
+            .unwrap_or_else(|e| panic!("optimize output {} is not valid IR: {e}", out.display()));
         g.validate().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -770,32 +1045,29 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let prog = write_sample_program(&dir);
         let profile_out = dir.join("prof.json");
-        run(&v(&[
+        run_expect(&[
             "simulate",
             prog.to_str().unwrap(),
             "--packets",
             "2000",
             "--profile-out",
             profile_out.to_str().unwrap(),
-        ]))
-        .unwrap();
+        ]);
         // The collected profile feeds back into optimize and inspect.
-        run(&v(&[
+        run_expect(&[
             "inspect",
             prog.to_str().unwrap(),
             "--profile",
             profile_out.to_str().unwrap(),
-        ]))
-        .unwrap();
-        run(&v(&[
+        ]);
+        run_expect(&[
             "optimize",
             prog.to_str().unwrap(),
             "--profile",
             profile_out.to_str().unwrap(),
             "-o",
             dir.join("out.json").to_str().unwrap(),
-        ]))
-        .unwrap();
+        ]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -815,17 +1087,12 @@ mod tests {
         )
         .unwrap();
         let out = dir.join("prog.json");
-        run(&v(&[
-            "build",
-            src.to_str().unwrap(),
-            "-o",
-            out.to_str().unwrap(),
-        ]))
-        .unwrap();
-        let g = from_json_string(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        run_expect(&["build", src.to_str().unwrap(), "-o", out.to_str().unwrap()]);
+        let g = from_json_string(&read_artifact(&out))
+            .unwrap_or_else(|e| panic!("build output {} is not valid IR: {e}", out.display()));
         assert_eq!(g.tables().count(), 1);
         // And optimize/simulate accept the .p4 directly.
-        run(&v(&["simulate", src.to_str().unwrap(), "--packets", "500"])).unwrap();
+        run_expect(&["simulate", src.to_str().unwrap(), "--packets", "500"]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -857,8 +1124,8 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(
-            std::fs::read_to_string(&single).unwrap(),
-            std::fs::read_to_string(&sharded).unwrap(),
+            read_artifact(&single),
+            read_artifact(&sharded),
             "sharded profile must be byte-identical to single-threaded"
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -891,8 +1158,8 @@ mod tests {
             .unwrap();
         }
         assert_eq!(
-            std::fs::read_to_string(&one).unwrap(),
-            std::fs::read_to_string(&two).unwrap(),
+            read_artifact(&one),
+            read_artifact(&two),
             "run-loop profile must be byte-identical across worker counts"
         );
         let err = run(&v(&[
@@ -938,8 +1205,8 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(
-            std::fs::read_to_string(&compiled).unwrap(),
-            std::fs::read_to_string(&interp).unwrap(),
+            read_artifact(&compiled),
+            read_artifact(&interp),
             "compiled-engine profile must be byte-identical to the interpreter's"
         );
         let err = run(&v(&["simulate", prog.to_str().unwrap(), "--engine", "jit"])).unwrap_err();
@@ -1001,11 +1268,11 @@ mod tests {
             jout.to_str().unwrap(),
         ]))
         .unwrap();
-        let text = std::fs::read_to_string(&mout).unwrap();
+        let text = read_artifact(&mout);
         pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
         assert!(text.contains("pipeleon_packet_latency_ns_bucket"), "{text}");
         assert!(text.contains("table=\"acl\""), "{text}");
-        let jsonl = std::fs::read_to_string(&jout).unwrap();
+        let jsonl = read_artifact(&jout);
         assert!(!jsonl.is_empty());
         for line in jsonl.lines() {
             serde::value::parse_json(line)
@@ -1031,7 +1298,7 @@ mod tests {
             out.to_str().unwrap(),
         ]))
         .unwrap();
-        let text = std::fs::read_to_string(&out).unwrap();
+        let text = read_artifact(&out);
         serde::value::parse_json(&text).expect("JSON snapshot must be valid JSON");
         assert!(text.contains("pipeleon_packet_latency_ns"), "{text}");
         assert!(text.contains("\"p99_ns\":"), "{text}");
@@ -1060,10 +1327,10 @@ mod tests {
             jout.to_str().unwrap(),
         ]))
         .unwrap();
-        let text = std::fs::read_to_string(&mout).unwrap();
+        let text = read_artifact(&mout);
         pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
         assert!(text.contains("pipeleon_controller_ticks_total"), "{text}");
-        let jsonl = std::fs::read_to_string(&jout).unwrap();
+        let jsonl = read_artifact(&jout);
         assert!(
             jsonl
                 .lines()
@@ -1151,6 +1418,71 @@ mod tests {
         run(&v(&["analyze", prog.to_str().unwrap()])).unwrap();
         let err = run(&v(&["analyze", prog.to_str().unwrap(), "--deny-warnings"])).unwrap_err();
         assert!(err.contains("warning"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_drive_round_trip_over_loopback() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test13_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let addr_file = dir.join("addr.txt");
+        let mout = dir.join("serve.prom");
+        let server = {
+            let (prog, addr_file, mout) = (prog.clone(), addr_file.clone(), mout.clone());
+            std::thread::spawn(move || {
+                run(&v(&[
+                    "serve",
+                    prog.to_str().unwrap(),
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--addr-file",
+                    addr_file.to_str().unwrap(),
+                    "--max-packets",
+                    "600",
+                    "--idle-timeout-ms",
+                    "20000",
+                    "--metrics-out",
+                    mout.to_str().unwrap(),
+                ]))
+            })
+        };
+        // Discover the OS-assigned port via the published addr file.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never published its address"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        run_expect(&[
+            "drive",
+            prog.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--packets",
+            "600",
+            "--window",
+            "32",
+        ]);
+        server
+            .join()
+            .expect("serve thread panicked")
+            .expect("serve failed");
+        let text = read_artifact(&mout);
+        pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
+        assert!(text.contains("pipeleon_ingest_frames_total 600"), "{text}");
+        assert!(
+            text.contains("pipeleon_ingest_dropped_total{reason=\"decode_error\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("pipeleon_e2e_latency_ns_bucket"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

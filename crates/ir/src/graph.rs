@@ -146,6 +146,22 @@ impl EdgeRef {
     }
 }
 
+/// One wire-contract binding: the program field named `field` travels in
+/// the physical frame header field named `wire` (codec vocabulary, e.g.
+/// `"ipv4.src"`) when the program serves real sockets. Fields without a
+/// binding ride in the frame's slot-residue payload section.
+///
+/// The IR stores the contract opaquely — the net crate owns the
+/// vocabulary of wire names, their bit widths, and validation; the IR
+/// only guarantees that `field` is interned in the program's field space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireBinding {
+    /// Frame header field name (codec vocabulary, e.g. `"ipv4.dst"`).
+    pub wire: String,
+    /// Program field name (must appear in the program's field space).
+    pub field: String,
+}
+
 /// A P4 program as a DAG of tables and branches.
 ///
 /// Nodes are stored in a dense vector indexed by [`NodeId`]; removed nodes
@@ -156,6 +172,13 @@ pub struct ProgramGraph {
     pub name: String,
     /// Interned header fields.
     pub fields: FieldSpace,
+    /// Declarative wire contract: which fields are carried in real
+    /// Ethernet/IPv4/UDP header fields when frames arrive over sockets
+    /// (empty = the codec's conservative by-name inference). Optimizer
+    /// rewrites clone the graph and never touch the contract, so it
+    /// survives reorder/cache/merge round-trips.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub wire: Vec<WireBinding>,
     nodes: Vec<Option<Node>>,
     root: Option<NodeId>,
 }
@@ -166,6 +189,7 @@ impl ProgramGraph {
         Self {
             name: name.into(),
             fields: FieldSpace::new(),
+            wire: Vec::new(),
             nodes: Vec::new(),
             root: None,
         }

@@ -9,7 +9,7 @@
 //! id-based so that files are diffable and stable under optimizer rewrites.
 
 use crate::expr::{CmpOp, Condition};
-use crate::graph::{Branch, NextHops, NodeKind, ProgramGraph};
+use crate::graph::{Branch, NextHops, NodeKind, ProgramGraph, WireBinding};
 use crate::table::{
     Action, CacheRole, MatchKey, MatchKind, MatchValue, Primitive, Table, TableEntry,
 };
@@ -30,6 +30,12 @@ pub struct JsonProgram {
     pub tables: Vec<JsonTable>,
     /// Conditional branches.
     pub conditionals: Vec<JsonConditional>,
+    /// Wire contract: program fields carried in physical frame header
+    /// fields when the program is served over sockets (see the net
+    /// crate's `FieldMap`). Omitted when empty, so programs without a
+    /// contract serialize exactly as before.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub wire: Vec<WireBinding>,
 }
 
 /// A table in the JSON schema.
@@ -316,6 +322,7 @@ pub fn to_json(g: &ProgramGraph) -> Result<JsonProgram, IrError> {
         init_node: names[&root].clone(),
         tables,
         conditionals,
+        wire: g.wire.clone(),
     })
 }
 
@@ -497,6 +504,32 @@ pub fn from_json(doc: &JsonProgram) -> Result<ProgramGraph, IrError> {
         });
         node.next = NextHops::Branch { on_true, on_false };
     }
+    // Wire contract: every bound program field must exist; binding the
+    // same wire header field (or the same program field) twice is
+    // ambiguous and rejected here, before the codec ever sees it.
+    for (i, b) in doc.wire.iter().enumerate() {
+        if g.fields.get(&b.field).is_none() {
+            return Err(IrError::Json(format!(
+                "wire binding {:?}: unknown field {:?}",
+                b.wire, b.field
+            )));
+        }
+        for prev in &doc.wire[..i] {
+            if prev.wire == b.wire {
+                return Err(IrError::Json(format!(
+                    "wire header field {:?} bound twice",
+                    b.wire
+                )));
+            }
+            if prev.field == b.field {
+                return Err(IrError::Json(format!(
+                    "program field {:?} bound to two wire fields",
+                    b.field
+                )));
+            }
+        }
+    }
+    g.wire = doc.wire.clone();
     let root = ids
         .get(&doc.init_node)
         .copied()
@@ -725,6 +758,67 @@ mod tests {
         let (_, t2) = g2.tables().next().unwrap();
         assert_eq!(t2.cache_role, CacheRole::FlowCache);
         assert_eq!(t2.max_entries, Some(128));
+    }
+
+    #[test]
+    fn wire_contract_round_trips() {
+        let mut g = sample_program();
+        g.wire = vec![
+            WireBinding {
+                wire: "ipv4.src".into(),
+                field: "ipv4.src".into(),
+            },
+            WireBinding {
+                wire: "ipv4.dst".into(),
+                field: "ipv4.dst".into(),
+            },
+        ];
+        let s = to_json_string(&g).unwrap();
+        assert!(s.contains("\"wire\""), "{s}");
+        let g2 = from_json_string(&s).unwrap();
+        assert_eq!(g2.wire, g.wire);
+        assert_eq!(to_json_string(&g2).unwrap(), s);
+        // Rewrite-style clones carry the contract too.
+        assert_eq!(g.clone().wire, g.wire);
+    }
+
+    #[test]
+    fn empty_wire_contract_is_omitted_from_json() {
+        let g = sample_program();
+        assert!(g.wire.is_empty());
+        let s = to_json_string(&g).unwrap();
+        assert!(!s.contains("\"wire\""), "{s}");
+    }
+
+    #[test]
+    fn wire_contract_rejects_unknown_and_duplicate_bindings() {
+        let g = sample_program();
+        let mut doc = to_json(&g).unwrap();
+        doc.wire = vec![WireBinding {
+            wire: "ipv4.src".into(),
+            field: "nope".into(),
+        }];
+        assert!(matches!(from_json(&doc), Err(IrError::Json(_))));
+        let dup_wire = WireBinding {
+            wire: "ipv4.src".into(),
+            field: "ipv4.src".into(),
+        };
+        doc.wire = vec![
+            dup_wire.clone(),
+            WireBinding {
+                wire: "ipv4.src".into(),
+                field: "ipv4.dst".into(),
+            },
+        ];
+        assert!(matches!(from_json(&doc), Err(IrError::Json(_))));
+        doc.wire = vec![
+            dup_wire,
+            WireBinding {
+                wire: "ipv4.dst".into(),
+                field: "ipv4.src".into(),
+            },
+        ];
+        assert!(matches!(from_json(&doc), Err(IrError::Json(_))));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod types;
 pub use builder::{ProgramBuilder, TableBuilder};
 pub use deps::{DependencyAnalysis, RwSets};
 pub use expr::{CmpOp, Condition};
-pub use graph::{Branch, EdgeRef, NextHops, Node, NodeKind, ProgramGraph};
+pub use graph::{Branch, EdgeRef, NextHops, Node, NodeKind, ProgramGraph, WireBinding};
 pub use json::{from_json, to_json};
 pub use table::{
     prefix_mask, Action, CacheRole, MatchKey, MatchKind, MatchValue, Primitive, Table, TableEntry,

@@ -1,0 +1,263 @@
+//! The socket-facing ingest run-loop.
+//!
+//! An [`IngestServer`] owns a non-blocking UDP socket and reusable frame
+//! buffers. Each [`IngestServer::poll_once`] call performs one cycle:
+//!
+//! 1. **recv-burst** — drain up to `burst` datagrams into the reusable
+//!    buffers, stamping an ingest [`Instant`] per frame;
+//! 2. **decode** — run the wire codec over each frame; malformed frames
+//!    are dropped with per-reason accounting, never served;
+//! 3. **process** — feed the whole burst to the backend's
+//!    `process_batch` (one datapath call per burst, matching the
+//!    emulator's run-loop batching);
+//! 4. **tx-burst** — encode each verdict into a response frame and send
+//!    it back to the requesting peer, recording end-to-end latency
+//!    (ingest timestamp → response handed to the kernel) into a
+//!    [`LatencyHistogram`].
+//!
+//! Overload policy: in-flight buffering is bounded by the burst size;
+//! anything the kernel socket buffer cannot hold is dropped by the OS
+//! before we see it, and anything we cannot decode, encode, or send is
+//! dropped *with an explicit counter* — the server never blocks on a
+//! slow peer and never buffers unboundedly.
+
+use crate::fieldmap::FieldMap;
+use crate::wire::{self, DecodeError};
+use pipeleon_obs::{LatencyHistogram, MetricsRegistry};
+use pipeleon_sim::{NicBackend, Packet};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Instant;
+
+/// Tuning knobs for an [`IngestServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Maximum datagrams pulled per poll cycle (bounds in-flight work).
+    pub burst: usize,
+    /// Receive buffer size per frame; larger datagrams are truncated by
+    /// the kernel and counted as oversize drops.
+    pub max_frame: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            burst: 64,
+            max_frame: 2048,
+        }
+    }
+}
+
+/// Cumulative ingest/egress accounting for one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Well-formed frames decoded and served.
+    pub frames: u64,
+    /// Frames rejected by the codec.
+    pub decode_errors: u64,
+    /// Datagrams that filled the receive buffer (likely truncated).
+    pub oversize: u64,
+    /// Responses that failed width validation at encode time.
+    pub encode_errors: u64,
+    /// Responses the kernel refused to send.
+    pub tx_dropped: u64,
+    /// Response frames handed to the kernel.
+    pub responses: u64,
+}
+
+impl IngestStats {
+    /// Total frames dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.decode_errors + self.oversize + self.encode_errors + self.tx_dropped
+    }
+}
+
+struct Slot {
+    buf: Vec<u8>,
+    len: usize,
+    peer: SocketAddr,
+    at: Instant,
+}
+
+/// A UDP server that serves live traffic through a [`NicBackend`].
+///
+/// The server owns the socket and codec state but *borrows* the backend
+/// per poll call, so callers can interleave control-plane work (e.g.
+/// controller ticks and live reconfiguration) between poll cycles on
+/// the very same backend the socket traffic flows through.
+pub struct IngestServer {
+    socket: UdpSocket,
+    config: IngestConfig,
+    slots: Vec<Slot>,
+    out: Vec<u8>,
+    stats: IngestStats,
+    e2e: LatencyHistogram,
+    last_decode_error: Option<DecodeError>,
+}
+
+impl IngestServer {
+    /// Binds a non-blocking UDP socket on `addr` (use port 0 to let the
+    /// OS pick; read it back with [`IngestServer::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: IngestConfig) -> io::Result<IngestServer> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        let placeholder: SocketAddr = ([0, 0, 0, 0], 0).into();
+        let slots = (0..config.burst.max(1))
+            .map(|_| Slot {
+                buf: vec![0u8; config.max_frame.max(wire::HDR_LEN + wire::PAYLOAD_FIXED)],
+                len: 0,
+                peer: placeholder,
+                at: Instant::now(),
+            })
+            .collect();
+        Ok(IngestServer {
+            socket,
+            config,
+            slots,
+            out: Vec::new(),
+            stats: IngestStats::default(),
+            e2e: LatencyHistogram::new(),
+            last_decode_error: None,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The configuration this server was bound with.
+    pub fn config(&self) -> IngestConfig {
+        self.config
+    }
+
+    /// One recv-burst / decode / process / tx-burst cycle against `nic`.
+    ///
+    /// Returns the number of datagrams received (0 when the socket was
+    /// idle — callers typically sleep briefly before polling again).
+    /// Real socket errors other than `WouldBlock` surface as `Err`.
+    pub fn poll_once<N: NicBackend>(&mut self, nic: &mut N, map: &FieldMap) -> io::Result<usize> {
+        // 1. recv-burst into the reusable slots.
+        let mut received = 0usize;
+        while received < self.slots.len() {
+            let slot = &mut self.slots[received];
+            match self.socket.recv_from(&mut slot.buf) {
+                Ok((n, peer)) => {
+                    slot.len = n;
+                    slot.peer = peer;
+                    slot.at = Instant::now();
+                    received += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Loopback peers that closed their socket surface async
+                // ICMP errors here; treat as an empty slot, not a crash.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionReset => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if received == 0 {
+            return Ok(0);
+        }
+
+        // 2. decode the burst.
+        let mut packets: Vec<Packet> = Vec::with_capacity(received);
+        let mut origin: Vec<usize> = Vec::with_capacity(received);
+        let mut seqs: Vec<u64> = Vec::with_capacity(received);
+        for (i, slot) in self.slots[..received].iter().enumerate() {
+            if slot.len == slot.buf.len() {
+                // recv filled the buffer exactly: the datagram may have
+                // been truncated by the kernel, so we cannot trust it.
+                self.stats.oversize += 1;
+                continue;
+            }
+            match wire::decode(&slot.buf[..slot.len], map) {
+                Ok(frame) => {
+                    packets.push(frame.packet);
+                    origin.push(i);
+                    seqs.push(frame.seq);
+                }
+                Err(e) => {
+                    self.stats.decode_errors += 1;
+                    self.last_decode_error = Some(e);
+                }
+            }
+        }
+        self.stats.frames += packets.len() as u64;
+
+        // 3. one datapath call for the whole burst.
+        if !packets.is_empty() {
+            let _reports = nic.process_batch(&mut packets);
+        }
+
+        // 4. tx-burst the verdicts back to their peers.
+        for (k, packet) in packets.iter().enumerate() {
+            let slot = &self.slots[origin[k]];
+            self.out.resize(map.frame_len(), 0);
+            match wire::encode_into(&mut self.out, packet, map, seqs[k], true) {
+                Ok(n) => match self.socket.send_to(&self.out[..n], slot.peer) {
+                    Ok(_) => {
+                        self.stats.responses += 1;
+                        self.e2e.record_duration(slot.at.elapsed());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.stats.tx_dropped += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {
+                        self.stats.tx_dropped += 1;
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(_) => self.stats.encode_errors += 1,
+            }
+        }
+        Ok(received)
+    }
+
+    /// Cumulative counters since bind.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The end-to-end latency histogram (ingest → response sent).
+    pub fn e2e(&self) -> &LatencyHistogram {
+        &self.e2e
+    }
+
+    /// The most recent codec rejection, for diagnostics.
+    pub fn last_decode_error(&self) -> Option<DecodeError> {
+        self.last_decode_error
+    }
+
+    /// Exports ingest counters and the e2e histogram into `m` under the
+    /// `pipeleon_ingest_*` / `pipeleon_e2e_latency_ns` names. Counters
+    /// use absolute sets so zero-valued series still render.
+    pub fn metrics_into(&self, m: &mut MetricsRegistry) {
+        m.help(
+            "pipeleon_ingest_frames_total",
+            "Well-formed frames decoded and served through the datapath",
+        );
+        m.counter_set("pipeleon_ingest_frames_total", &[], self.stats.frames);
+        m.help(
+            "pipeleon_ingest_responses_total",
+            "Response frames handed to the kernel",
+        );
+        m.counter_set("pipeleon_ingest_responses_total", &[], self.stats.responses);
+        m.help(
+            "pipeleon_ingest_dropped_total",
+            "Frames dropped by the ingest path, by reason",
+        );
+        for (reason, v) in [
+            ("decode_error", self.stats.decode_errors),
+            ("oversize", self.stats.oversize),
+            ("encode_error", self.stats.encode_errors),
+            ("tx", self.stats.tx_dropped),
+        ] {
+            m.counter_set("pipeleon_ingest_dropped_total", &[("reason", reason)], v);
+        }
+        m.help(
+            "pipeleon_e2e_latency_ns",
+            "End-to-end latency from socket ingest to response handed to the kernel",
+        );
+        m.merge_histogram("pipeleon_e2e_latency_ns", &[], &self.e2e);
+    }
+}

@@ -1,0 +1,163 @@
+//! Malformed-input hardening for the wire codec.
+//!
+//! The ingest server feeds `decode` raw bytes straight off a public UDP
+//! socket, so the codec must be a *total* function over arbitrary input:
+//! every malformed frame maps to a typed [`DecodeError`] (which the
+//! server turns into a drop counter), and no input may panic. These
+//! properties fuzz that contract, and the structured cases pin the
+//! specific error variant each corruption class must produce.
+
+use pipeleon_ir::ProgramGraph;
+use pipeleon_net::{decode, encode, DecodeError, FieldMap};
+use pipeleon_sim::Packet;
+use proptest::prelude::*;
+
+fn graph(names: &[&str]) -> ProgramGraph {
+    let mut g = ProgramGraph::new("hardening");
+    for n in names {
+        g.fields.intern(n);
+    }
+    g
+}
+
+/// A map with two header-bound slots and two residue slots.
+fn mixed_map() -> (ProgramGraph, FieldMap) {
+    let g = graph(&["ipv4.src", "ipv4.dst", "meta.state", "meta.cookie"]);
+    let m = FieldMap::from_graph(&g).expect("map");
+    (g, m)
+}
+
+/// A map with residue only (nothing inferable into headers).
+fn residue_only_map() -> (ProgramGraph, FieldMap) {
+    let g = graph(&["flow.f0", "flow.f1", "flow.f2"]);
+    let m = FieldMap::from_graph(&g).expect("map");
+    (g, m)
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics the decoder, under maps with
+    /// and without header bindings.
+    #[test]
+    fn decode_is_total_over_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let (_, m1) = mixed_map();
+        let (_, m2) = residue_only_map();
+        // Outcome unconstrained (random bytes are overwhelmingly
+        // malformed); the property is "returns, never panics".
+        let _ = decode(&bytes, &m1);
+        let _ = decode(&bytes, &m2);
+    }
+
+    /// Single-byte corruption of a well-formed frame never panics, and
+    /// whenever it still decodes, the sequence/slot payload is sane
+    /// (same slot count — the map, not the attacker, sizes the packet).
+    #[test]
+    fn bit_flips_never_panic(
+        src in any::<u64>(),
+        cookie in any::<u64>(),
+        pos_raw in any::<u16>(),
+        val in any::<u8>(),
+    ) {
+        let (g, m) = mixed_map();
+        let mut p = Packet::new(&g.fields);
+        p.set(g.fields.get("ipv4.src").unwrap(), src & 0xFFFF_FFFF);
+        p.set(g.fields.get("meta.cookie").unwrap(), cookie);
+        let mut buf = encode(&p, &m, 9, false).expect("encode");
+        let pos = usize::from(pos_raw) % buf.len();
+        buf[pos] = val;
+        if let Ok(d) = decode(&buf, &m) {
+            prop_assert_eq!(d.packet.slots().len(), m.slot_count());
+        }
+    }
+
+    /// Losslessness: encode → decode is the identity over any packet of
+    /// the program's field space (header-bound values clamped to their
+    /// field width; residue values unconstrained u64).
+    #[test]
+    fn encode_decode_round_trips(
+        src in any::<u64>(),
+        dst in any::<u64>(),
+        state in any::<u64>(),
+        cookie in any::<u64>(),
+        seq in any::<u64>(),
+        bytes in 0u64..65_536,
+        dropped in any::<u8>(),
+        egress in any::<u8>(),
+    ) {
+        let (g, m) = mixed_map();
+        let mut p = Packet::new(&g.fields);
+        p.set(g.fields.get("ipv4.src").unwrap(), src & 0xFFFF_FFFF);
+        p.set(g.fields.get("ipv4.dst").unwrap(), dst & 0xFFFF_FFFF);
+        p.set(g.fields.get("meta.state").unwrap(), state);
+        p.set(g.fields.get("meta.cookie").unwrap(), cookie);
+        p.bytes = bytes as usize;
+        p.dropped = dropped & 1 == 1;
+        p.egress_port = if egress & 1 == 1 { Some(u32::from(egress)) } else { None };
+        let buf = encode(&p, &m, seq, true).expect("encode");
+        let d = decode(&buf, &m).expect("decode");
+        prop_assert_eq!(&d.packet, &p);
+        prop_assert_eq!(d.seq, seq);
+        prop_assert!(d.response);
+    }
+
+    /// Every truncation point of a valid frame yields a typed error.
+    #[test]
+    fn truncation_always_errors(cut_raw in any::<u16>()) {
+        let (g, m) = mixed_map();
+        let p = Packet::new(&g.fields);
+        let buf = encode(&p, &m, 0, false).expect("encode");
+        let cut = usize::from(cut_raw) % buf.len();
+        prop_assert!(decode(&buf[..cut], &m).is_err());
+    }
+}
+
+#[test]
+fn corruption_classes_map_to_their_error_variants() {
+    let (g, m) = mixed_map();
+    let p = Packet::new(&g.fields);
+    let good = encode(&p, &m, 1, false).expect("encode");
+
+    // Truncated below the fixed header.
+    assert!(matches!(
+        decode(&good[..20], &m),
+        Err(DecodeError::Truncated { .. })
+    ));
+
+    // Wrong ethertype (ARP).
+    let mut b = good.clone();
+    b[12] = 0x08;
+    b[13] = 0x06;
+    assert!(matches!(
+        decode(&b, &m),
+        Err(DecodeError::BadEthertype(0x0806))
+    ));
+
+    // Bad IHL (options present — unsupported).
+    let mut b = good.clone();
+    b[14] = 0x46;
+    assert_eq!(decode(&b, &m), Err(DecodeError::BadIhl(0x46)));
+
+    // Non-UDP transport.
+    let mut b = good.clone();
+    b[14 + 9] = 6;
+    assert_eq!(decode(&b, &m), Err(DecodeError::BadProto(6)));
+
+    // Foreign payload (not a pipeleon frame).
+    let mut b = good.clone();
+    b[42] = b'H';
+    assert!(matches!(decode(&b, &m), Err(DecodeError::BadMagic(_))));
+
+    // Future payload version.
+    let mut b = good.clone();
+    b[42 + 4] = 2;
+    assert_eq!(decode(&b, &m), Err(DecodeError::BadVersion(2)));
+
+    // Frame built for a different program (wrong residue count).
+    let (g2, m2) = residue_only_map();
+    let other = encode(&Packet::new(&g2.fields), &m2, 0, false).expect("encode");
+    assert!(matches!(
+        decode(&other, &m),
+        Err(DecodeError::ResidueMismatch { have: 3, need: 2 })
+    ));
+}

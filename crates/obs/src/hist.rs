@@ -108,6 +108,13 @@ impl LatencyHistogram {
         self.record_ns(v);
     }
 
+    /// Records one wall-clock duration, saturating to `u64` nanoseconds.
+    /// The convenience entry point for end-to-end (ingest→egress) timing,
+    /// where callers hold `std::time::Duration`s from `Instant` pairs.
+    pub fn record_duration(&mut self, d: core::time::Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
     /// Records one latency sample as an integer nanosecond value.
     pub fn record_ns(&mut self, v: u64) {
         self.counts[bucket_index(v)] += 1;

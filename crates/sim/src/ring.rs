@@ -31,7 +31,7 @@
 //! helpers below and spelled out in DESIGN.md §15; it is verified by the
 //! model-checked suite in `crates/sim/tests/model.rs` (build with
 //! `RUSTFLAGS="--cfg pipeleon_check"`), which also kills the seeded
-//! ordering mutants injectable through [`RingOrderings`] in model builds.
+//! ordering mutants injectable through `RingOrderings` in model builds.
 //! Single-threaded behaviour is property-tested against a `VecDeque`
 //! model in `crates/sim/tests/ring_props.rs`.
 

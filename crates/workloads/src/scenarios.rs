@@ -20,7 +20,7 @@
 use crate::traffic::{FieldBias, FlowGen};
 use pipeleon_ir::{
     Condition, FieldRef, MatchKind, MatchValue, NodeId, Primitive, ProgramBuilder, ProgramGraph,
-    TableEntry,
+    TableEntry, WireBinding,
 };
 
 /// The exact-match value ACL entries deny. Traffic generators bias ACL key
@@ -242,8 +242,24 @@ impl LoadBalancer {
             .finish();
         let a0 = acl_table(&mut b, "acl0", acl_fields[0]);
         let a1 = acl_table(&mut b, "acl1", acl_fields[1]);
+        let mut graph = b.seal(regular[0]).expect("valid program");
+        // Wire contract for socket-facing serving: the IPv4 addresses
+        // travel in real IPv4 header fields (32-bit, wide enough for any
+        // generated flow value); the port-shaped and metadata fields ride
+        // in the frame's slot-residue section, because generated flow
+        // values exceed a real 16-bit port.
+        graph.wire = vec![
+            WireBinding {
+                wire: "ipv4.src".into(),
+                field: "ipv4.src".into(),
+            },
+            WireBinding {
+                wire: "ipv4.dst".into(),
+                field: "ipv4.dst".into(),
+            },
+        ];
         Self {
-            graph: b.seal(regular[0]).expect("valid program"),
+            graph,
             regular,
             lb: vec![lb1, lb2],
             acls: vec![a0, a1],

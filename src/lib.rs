@@ -19,12 +19,15 @@
 //!   entry-API mapping).
 //! * [`p4`] — the P4-lite textual frontend (parse pipelines written in a
 //!   P4-16-flavoured DSL).
+//! * [`net`] — the socket-facing ingest subsystem (wire codec, ingest
+//!   run-loop, loopback traffic driver).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use pipeleon as opt;
 pub use pipeleon_cost as cost;
 pub use pipeleon_ir as ir;
+pub use pipeleon_net as net;
 pub use pipeleon_p4 as p4;
 pub use pipeleon_runtime as runtime;
 pub use pipeleon_sim as sim;
