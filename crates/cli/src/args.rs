@@ -12,7 +12,12 @@ pub struct Args {
 
 /// Flags that take no value (presence alone means `true`). Every other
 /// flag consumes exactly one value.
-const BOOL_FLAGS: &[&str] = &["deny-warnings", "live-reconfig", "concurrency"];
+const BOOL_FLAGS: &[&str] = &[
+    "deny-warnings",
+    "live-reconfig",
+    "concurrency",
+    "no-specialize",
+];
 
 /// Parses `argv` (without the program name). Flags take exactly one value
 /// unless listed in [`BOOL_FLAGS`]; a trailing valued flag without its

@@ -32,7 +32,8 @@ USAGE:
            [--sample N] [--engine compiled|interp]
            [--batch N] [--profile-out p.json]
            [--metrics-out m.prom|m.json] [--journal-out j.jsonl]
-           [--live-reconfig] [--chaos-seed S [--windows N]]
+           [--live-reconfig] [--no-specialize]
+           [--chaos-seed S [--windows N]]
   pipeleon metrics  <program> [--target T] [--packets N]
            [--flows N] [--zipf S] [--seed S] [--sample N]
            [-o m.prom|m.json]
@@ -352,6 +353,51 @@ fn shard_mode(args: &Args) -> Result<ShardMode, String> {
     }
 }
 
+/// One measurement window, optionally with a mid-window specialization
+/// pass: the first half of the batch warms the profile and hot-key
+/// sketches, the backend specializes, and the window finishes on the
+/// specialized datapath. The begin/feed/end window merges to the same
+/// statistics as a single `measure_batch` of the whole batch —
+/// specialization only changes host wall-clock, never modeled results.
+fn measure_with_spec<N: pipeleon_sim::NicBackend>(
+    nic: &mut N,
+    batch: Vec<Packet>,
+    specialize: bool,
+) -> BatchStats {
+    if !specialize || batch.len() < 2 {
+        return nic.measure_batch(batch);
+    }
+    let mut head = batch;
+    let tail = head.split_off(head.len() / 2);
+    nic.measure_begin();
+    nic.measure_feed(head);
+    nic.specialize();
+    nic.measure_feed(tail);
+    nic.measure_end()
+}
+
+/// Writes the specialization counters into a metrics registry under the
+/// same names the runtime controller exports.
+fn spec_metrics_into(reg: &mut MetricsRegistry, spec: &pipeleon_sim::SpecStats) {
+    reg.counter_set("pipeleon_specialize_guard_hits_total", &[], spec.guard_hits);
+    reg.counter_set(
+        "pipeleon_specialize_guard_misses_total",
+        &[],
+        spec.guard_misses,
+    );
+    reg.counter_set("pipeleon_specializations_total", &[], spec.specializations);
+    reg.counter_set(
+        "pipeleon_despecializations_total",
+        &[],
+        spec.despecializations,
+    );
+    reg.gauge_set(
+        "pipeleon_specialized_tables",
+        &[],
+        spec.specialized_tables as f64,
+    );
+}
+
 fn simulate(args: &Args) -> Result<(), String> {
     let params = target(args)?;
     let g = load_program(args)?;
@@ -395,17 +441,21 @@ fn simulate(args: &Args) -> Result<(), String> {
     // statistics, profiles, and histograms are worker-count-invariant in
     // both shard modes (bit-exact mode additionally replays the global
     // arrival schedule for bit-identical float aggregates).
-    let (stats, profile, obs, elapsed_s) = if sharded {
+    // Profile-guided specialization is on by default for the compiled
+    // engine (the interpreter is the oracle and never specializes).
+    let specialize = engine == EngineMode::Compiled && !args.get_bool("no-specialize");
+    let (stats, profile, obs, spec, elapsed_s) = if sharded {
         let mut nic = ShardedNic::new(g.clone(), params, workers)
             .map_err(|e| e.to_string())?
             .with_config(config);
         nic.set_engine_mode(engine);
         nic.set_live_reconfig(args.get_bool("live-reconfig"));
         nic.set_instrumentation(true, sample);
-        let stats = nic.measure(batch);
+        let stats = measure_with_spec(&mut nic, batch, specialize);
+        let spec = nic.spec_stats();
         let (p, o) = (nic.take_profile(), nic.take_observations());
         let t = pipeleon_sim::NicBackend::now_s(&nic);
-        (stats, p, o, t)
+        (stats, p, o, spec, t)
     } else {
         let mut nic = SmartNic::new(g.clone(), params)
             .map_err(|e| e.to_string())?
@@ -413,10 +463,11 @@ fn simulate(args: &Args) -> Result<(), String> {
         nic.set_engine_mode(engine);
         nic.set_live_reconfig(args.get_bool("live-reconfig"));
         nic.set_instrumentation(true, sample);
-        let stats = nic.measure(batch);
+        let stats = measure_with_spec(&mut nic, batch, specialize);
+        let spec = SmartNic::spec_stats(&nic);
         let (p, o) = (nic.take_profile(), SmartNic::take_observations(&mut nic));
         let t = nic.now_s();
-        (stats, p, o, t)
+        (stats, p, o, spec, t)
     };
     println!("packets:           {}", stats.packets);
     println!("dropped:           {}", stats.dropped);
@@ -426,6 +477,12 @@ fn simulate(args: &Args) -> Result<(), String> {
         "throughput (Gbps): {:.2} of {:.0} offered",
         stats.throughput_gbps, stats.offered_gbps
     );
+    if specialize {
+        println!(
+            "specialization:    {} table(s), guard hits {} misses {}",
+            spec.specialized_tables, spec.guard_hits, spec.guard_misses
+        );
+    }
     if let Some(path) = args.get("profile-out") {
         let doc = profile_doc::from_profile(&profile, &g);
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
@@ -435,6 +492,9 @@ fn simulate(args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("metrics-out") {
         let mut reg = MetricsRegistry::new();
         datapath_metrics_into(&mut reg, &g, Some(&stats), &obs);
+        if specialize {
+            spec_metrics_into(&mut reg, &spec);
+        }
         write_metrics(path, &reg)?;
     }
     if let Some(path) = args.get("journal-out") {
@@ -530,8 +590,11 @@ fn chaos_simulate<N: pipeleon_sim::NicBackend>(
     let mut target = FaultyTarget::new(SimTarget::live(nic), FaultConfig::chaos(seed));
     // Construction deploys fault-free; chaos starts with the loop.
     target.set_armed(false);
-    let mut c = Controller::new(target, g.clone(), optimizer, ControllerConfig::default())
-        .map_err(|e| e.to_string())?;
+    let cfg = ControllerConfig {
+        specialize: !args.get_bool("no-specialize"),
+        ..ControllerConfig::default()
+    };
+    let mut c = Controller::new(target, g.clone(), optimizer, cfg).map_err(|e| e.to_string())?;
     c.target.set_armed(true);
     let windows = windows.max(1);
     let per_window = (batch.len() / windows).max(1);
@@ -1278,6 +1341,51 @@ mod tests {
             serde::value::parse_json(line)
                 .unwrap_or_else(|e| panic!("journal line not valid JSON: {line}: {e}"));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_no_specialize_flag_and_spec_metrics() {
+        let dir = std::env::temp_dir().join(format!("pipeleon_cli_test13_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = write_sample_program(&dir);
+        let spec_prof = dir.join("spec.json");
+        let plain_prof = dir.join("plain.json");
+        let mout = dir.join("spec.prom");
+        // Default compiled run specializes mid-window and exports its
+        // counters; the collected profile must be identical to a
+        // --no-specialize run (specialization is modeled-result-exact).
+        run_expect(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--profile-out",
+            spec_prof.to_str().unwrap(),
+            "--metrics-out",
+            mout.to_str().unwrap(),
+        ]);
+        run_expect(&[
+            "simulate",
+            prog.to_str().unwrap(),
+            "--packets",
+            "3000",
+            "--no-specialize",
+            "--profile-out",
+            plain_prof.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            read_artifact(&spec_prof),
+            read_artifact(&plain_prof),
+            "specialization must not perturb the collected profile"
+        );
+        let text = read_artifact(&mout);
+        pipeleon_obs::validate_prometheus(&text).expect("exposition must validate");
+        assert!(
+            text.contains("pipeleon_specialize_guard_hits_total"),
+            "{text}"
+        );
+        assert!(text.contains("pipeleon_specialized_tables"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

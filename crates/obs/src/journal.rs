@@ -90,6 +90,23 @@ pub enum EventKind {
         /// Control-plane publish latency in nanoseconds.
         latency_ns: f64,
     },
+    /// The compiled datapath was specialized to the profiled traffic
+    /// (hot-key guards, direct-index ways, hot-chain layout).
+    Specialize {
+        /// The specialization epoch after applying the plan.
+        generation: u64,
+        /// Tables carrying a guard or direct-index way afterwards.
+        tables: u64,
+    },
+    /// The compiled datapath reverted to its verbatim lowering (drift,
+    /// guard-miss pressure, or an entry op touching a specialized table).
+    Despecialize {
+        /// The specialization epoch after the revert.
+        generation: u64,
+        /// Tables still specialized afterwards (0 unless a re-plan
+        /// followed in the same window).
+        tables: u64,
+    },
 }
 
 impl EventKind {
@@ -107,6 +124,8 @@ impl EventKind {
             EventKind::BreakerOpened { .. } => "breaker_opened",
             EventKind::BreakerClosed => "breaker_closed",
             EventKind::GenerationSwap { .. } => "generation_swap",
+            EventKind::Specialize { .. } => "specialize",
+            EventKind::Despecialize { .. } => "despecialize",
         }
     }
 }
@@ -205,6 +224,10 @@ impl Event {
                     ",\"generation\":{generation},\"in_flight\":{in_flight},\"latency_ns\":{}",
                     fmt_f64(*latency_ns)
                 ));
+            }
+            EventKind::Specialize { generation, tables }
+            | EventKind::Despecialize { generation, tables } => {
+                s.push_str(&format!(",\"generation\":{generation},\"tables\":{tables}"));
             }
         }
         s.push('}');
@@ -383,6 +406,14 @@ mod tests {
                 generation: 3,
                 in_flight: 12,
                 latency_ns: 850.0,
+            },
+            EventKind::Specialize {
+                generation: 4,
+                tables: 2,
+            },
+            EventKind::Despecialize {
+                generation: 5,
+                tables: 0,
             },
         ];
         for kind in kinds {

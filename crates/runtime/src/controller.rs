@@ -28,6 +28,7 @@ use pipeleon_cost::RuntimeProfile;
 use pipeleon_ir::json::to_json_string;
 use pipeleon_ir::{NextHops, NodeId, NodeKind, ProgramGraph, Table, TableEntry};
 use pipeleon_obs::{EventJournal, EventKind, MetricsRegistry};
+use pipeleon_sim::SpecStats;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -61,6 +62,15 @@ pub struct ControllerConfig {
     /// Maximum events retained by the controller's ring-buffer journal
     /// (older events are evicted and counted, never reallocated).
     pub journal_capacity: usize,
+    /// Run a profile-guided specialization step after each window's
+    /// optimize/deploy work: the target's compiled datapath gains
+    /// bit-exact fast paths (hot-key guards, direct-index ways) for the
+    /// observed traffic, and sheds them again on drift or guard-miss
+    /// pressure.
+    pub specialize: bool,
+    /// Guard-miss fraction of a window's guarded lookups above which
+    /// the specialized pipeline is considered stale and reverted.
+    pub spec_guard_miss_despec: f64,
 }
 
 impl Default for ControllerConfig {
@@ -75,6 +85,8 @@ impl Default for ControllerConfig {
             degrade_after: 3,
             cooldown_ticks: 4,
             journal_capacity: 1024,
+            specialize: true,
+            spec_guard_miss_despec: 0.35,
         }
     }
 }
@@ -103,6 +115,13 @@ pub struct HealthReport {
     /// candidates itself, so any nonzero count means a gate caught an
     /// unsound plan that slipped through).
     pub plan_rejections: u64,
+    /// Specialization plans the target's datapath has applied (from the
+    /// target's own counters; 0 when specialization is disabled or the
+    /// target has no specializing datapath).
+    pub specializations: u64,
+    /// Reverts to the verbatim lowering — explicit de-specializations
+    /// plus entry ops that stripped a specialized table.
+    pub despecializations: u64,
 }
 
 /// What one tick did.
@@ -188,6 +207,12 @@ pub struct Controller<T: Target> {
     /// Highest live-swap generation already journaled, so each swap the
     /// target reports is recorded exactly once.
     last_swap_gen: u64,
+    /// Highest specialization epoch already journaled (same dedup
+    /// pattern as `last_swap_gen`).
+    last_spec_gen: u64,
+    /// Target specialization counters at the end of the previous spec
+    /// step, for per-window guard-miss deltas.
+    last_spec_stats: SpecStats,
 }
 
 /// Per-window facts [`Controller::tick`] surfaces to the journal after
@@ -232,6 +257,8 @@ impl<T: Target> Controller<T> {
             metrics,
             clock_s: 0.0,
             last_swap_gen: 0,
+            last_spec_gen: 0,
+            last_spec_stats: SpecStats::default(),
         };
         let (g, j) = (this.last_good.graph.clone(), this.last_good.json.clone());
         this.deploy_transaction(g, &j)?;
@@ -475,8 +502,8 @@ impl<T: Target> Controller<T> {
     /// deploy (transactionally), then journal the window and re-snapshot
     /// the control-loop metrics.
     pub fn tick(&mut self) -> Result<TickReport, RuntimeError> {
-        let (report, window) = self.tick_inner()?;
-        if let Some(w) = window {
+        let (mut report, window) = self.tick_inner()?;
+        if let Some(w) = &window {
             self.journal.push(
                 self.clock_s,
                 EventKind::WindowProfiled {
@@ -498,8 +525,95 @@ impl<T: Target> Controller<T> {
                 },
             );
         }
+        if window.is_some() {
+            self.spec_step(&mut report);
+        }
         self.record_tick_metrics(&report);
         Ok(report)
+    }
+
+    /// The specialization step, run after each window's optimize/deploy
+    /// work (and only for ticks that actually consumed a window).
+    ///
+    /// Policy: if the datapath is specialized and the profile drifted
+    /// past the re-optimization threshold — or the window's guard-miss
+    /// fraction cleared [`ControllerConfig::spec_guard_miss_despec`] —
+    /// the stale plan is shed first; a fresh plan is then (re)applied
+    /// whenever the traffic looks stable. Both actions are bit-exact on
+    /// the datapath, so this step can never change what packets do —
+    /// only how fast the target executes them.
+    fn spec_step(&mut self, report: &mut TickReport) {
+        if !self.cfg.specialize || self.health.degraded {
+            return;
+        }
+        let before = self.last_spec_stats;
+        let stats = self.target.spec_stats();
+        let hits = stats.guard_hits.saturating_sub(before.guard_hits);
+        let misses = stats.guard_misses.saturating_sub(before.guard_misses);
+        let guarded = hits + misses;
+        let miss_rate = if guarded == 0 {
+            0.0
+        } else {
+            misses as f64 / guarded as f64
+        };
+        let drifted = report.profile_change >= self.cfg.change_threshold;
+        if stats.specialized_tables > 0 && (drifted || miss_rate > self.cfg.spec_guard_miss_despec)
+        {
+            self.target.despecialize();
+        } else if !drifted {
+            self.target.specialize();
+        }
+        // A live sharded datapath publishes (de)specializations through
+        // the generation chain — record the swap like any live deploy.
+        self.note_swap();
+        let after = self.target.spec_stats();
+        if after.generation > self.last_spec_gen {
+            if after.despecializations > before.despecializations {
+                self.journal.push(
+                    self.clock_s,
+                    EventKind::Despecialize {
+                        generation: after.generation,
+                        tables: after.specialized_tables,
+                    },
+                );
+            }
+            if after.specializations > before.specializations {
+                self.journal.push(
+                    self.clock_s,
+                    EventKind::Specialize {
+                        generation: after.generation,
+                        tables: after.specialized_tables,
+                    },
+                );
+            }
+            self.last_spec_gen = after.generation;
+        }
+        self.last_spec_stats = after;
+        self.health.specializations = after.specializations;
+        self.health.despecializations = after.despecializations;
+        report.health = self.health.clone();
+        let m = &mut self.metrics;
+        m.counter_set(
+            "pipeleon_specialize_guard_hits_total",
+            &[],
+            after.guard_hits,
+        );
+        m.counter_set(
+            "pipeleon_specialize_guard_misses_total",
+            &[],
+            after.guard_misses,
+        );
+        m.counter_set("pipeleon_specializations_total", &[], after.specializations);
+        m.counter_set(
+            "pipeleon_despecializations_total",
+            &[],
+            after.despecializations,
+        );
+        m.gauge_set(
+            "pipeleon_specialized_tables",
+            &[],
+            after.specialized_tables as f64,
+        );
     }
 
     /// The tick body proper; returns the report plus the window facts
@@ -1161,6 +1275,26 @@ fn register_help(m: &mut MetricsRegistry) {
         "pipeleon_inflight_at_swap_total",
         "Packets in flight at live swap publication (old generation)",
     );
+    m.help(
+        "pipeleon_specialize_guard_hits_total",
+        "Hot-key guard hits in the specialized compiled datapath",
+    );
+    m.help(
+        "pipeleon_specialize_guard_misses_total",
+        "Hot-key guard misses (fell through to the general lookup)",
+    );
+    m.help(
+        "pipeleon_specializations_total",
+        "Specialization plans applied to the compiled datapath",
+    );
+    m.help(
+        "pipeleon_despecializations_total",
+        "Reverts to the verbatim lowering (drift, misses, entry ops)",
+    );
+    m.help(
+        "pipeleon_specialized_tables",
+        "Tables currently carrying a hot-key guard or direct-index way",
+    );
 }
 
 #[cfg(test)]
@@ -1228,8 +1362,15 @@ mod tests {
         let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(p.acls[0]) < pos(p.acls[2]));
         assert_eq!(c.reconfig_count, 2);
-        // A fault-free run reports clean health.
-        assert_eq!(r3.health, HealthReport::default());
+        // A fault-free run reports clean health; specialization
+        // activity is expected (the stable window 2 specializes, the
+        // drifted window 3 sheds the plan) and is not a fault.
+        let expected = HealthReport {
+            specializations: r3.health.specializations,
+            despecializations: r3.health.despecializations,
+            ..HealthReport::default()
+        };
+        assert_eq!(r3.health, expected);
     }
 
     #[test]

@@ -424,6 +424,22 @@ impl<T: Target> Target for FaultyTarget<T> {
     fn target_clock_s(&self) -> f64 {
         self.inner.target_clock_s()
     }
+
+    /// Specialization is a host-side rewrite of the compiled datapath,
+    /// not a reconfiguration RPC: it never tears and needs no fault
+    /// roll (keeping the injected-fault RNG stream identical whether or
+    /// not the controller specializes).
+    fn specialize(&mut self) -> bool {
+        self.inner.specialize()
+    }
+
+    fn despecialize(&mut self) -> bool {
+        self.inner.despecialize()
+    }
+
+    fn spec_stats(&self) -> pipeleon_sim::SpecStats {
+        self.inner.spec_stats()
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use pipeleon_cost::RuntimeProfile;
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
-use pipeleon_sim::{NicBackend, SmartNic};
+use pipeleon_sim::{NicBackend, SmartNic, SpecStats};
 
 /// What the target reports about its most recent live program swap
 /// (epoch/RCU generation transition) — surfaced by targets whose
@@ -65,6 +65,24 @@ pub trait Target {
     /// without a clock report 0.
     fn target_clock_s(&self) -> f64 {
         0.0
+    }
+    /// Asks the target to specialize its compiled datapath to the
+    /// traffic profile it has been observing (bit-exact fast paths:
+    /// hot-key guards, direct-index ways, hot-chain layout). Returns
+    /// `true` if the datapath changed; targets without a specializing
+    /// datapath never do.
+    fn specialize(&mut self) -> bool {
+        false
+    }
+    /// Reverts the target's datapath to its verbatim lowering. Returns
+    /// `true` if it was specialized.
+    fn despecialize(&mut self) -> bool {
+        false
+    }
+    /// The target's specialization counters (zeros for targets without
+    /// a specializing datapath).
+    fn spec_stats(&self) -> SpecStats {
+        SpecStats::default()
     }
 }
 
@@ -171,6 +189,18 @@ impl<N: NicBackend> Target for SimTarget<N> {
 
     fn target_clock_s(&self) -> f64 {
         self.nic.now_s()
+    }
+
+    fn specialize(&mut self) -> bool {
+        self.nic.specialize()
+    }
+
+    fn despecialize(&mut self) -> bool {
+        self.nic.despecialize()
+    }
+
+    fn spec_stats(&self) -> SpecStats {
+        self.nic.spec_stats()
     }
 }
 

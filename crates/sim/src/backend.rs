@@ -10,6 +10,7 @@ use crate::exec::{EngineMode, ExecReport};
 use crate::nic::{BatchStats, ShardMode};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
+use crate::specialize::{SpecConfig, SpecStats};
 use crate::SmartNic;
 use pipeleon_cost::{CostParams, RuntimeProfile};
 use pipeleon_ir::{IrError, NextHops, NodeId, ProgramGraph, Table, TableEntry};
@@ -145,6 +146,30 @@ pub trait NicBackend {
     fn measure_end(&mut self) -> BatchStats {
         self.measure_batch(Vec::new())
     }
+
+    /// Sets the thresholds that drive specialization planning. Backends
+    /// without a specializing datapath ignore the call.
+    fn set_spec_config(&mut self, _cfg: SpecConfig) {}
+
+    /// Builds a specialization plan from the last profile window and
+    /// applies it to the compiled datapath (bit-exactly — a specialized
+    /// pipeline is the same program, faster on the profiled traffic).
+    /// Returns `true` if the pipeline changed; the default (for backends
+    /// without a compiled datapath) never specializes.
+    fn specialize(&mut self) -> bool {
+        false
+    }
+
+    /// Reverts the compiled datapath to its verbatim lowering. Returns
+    /// `true` if it was specialized.
+    fn despecialize(&mut self) -> bool {
+        false
+    }
+
+    /// Current specialization counters and state.
+    fn spec_stats(&self) -> SpecStats {
+        SpecStats::default()
+    }
 }
 
 impl NicBackend for SmartNic {
@@ -243,5 +268,21 @@ impl NicBackend for SmartNic {
 
     fn measure_end(&mut self) -> BatchStats {
         SmartNic::measure_end(self)
+    }
+
+    fn set_spec_config(&mut self, cfg: SpecConfig) {
+        SmartNic::set_spec_config(self, cfg)
+    }
+
+    fn specialize(&mut self) -> bool {
+        SmartNic::specialize(self)
+    }
+
+    fn despecialize(&mut self) -> bool {
+        SmartNic::despecialize(self)
+    }
+
+    fn spec_stats(&self) -> SpecStats {
+        SmartNic::spec_stats(self)
     }
 }

@@ -34,7 +34,7 @@ pub(crate) const NO_SLOT: u32 = u32::MAX;
 /// The entry indices stored under one way key. Single-entry lists (the
 /// overwhelmingly common case) are inline — no `Box` deref per hit.
 #[derive(Debug, Clone)]
-enum CEntries {
+pub(crate) enum CEntries {
     One(usize),
     Many(Box<[usize]>),
 }
@@ -58,22 +58,29 @@ impl CEntries {
 
 /// The key map of one way. Single-field keys hash the raw `u64` (no
 /// slice length prefix, no [`SmallKey`] dispatch); wider keys go through
-/// the scratch-composed slice.
+/// the scratch-composed slice. `Direct` is a specialization-pass rewrite
+/// of a dense single-field exact way: the masked key indexes a slot
+/// array, no hashing at all. Any entry-op rebuild of the engine restores
+/// the hash form, so `Direct` only ever describes a stable entry set.
 #[derive(Debug, Clone)]
-enum CWayMap {
+pub(crate) enum CWayMap {
     U64(FxHashMap<u64, CEntries>),
     Multi(FxHashMap<SmallKey, CEntries>),
+    Direct {
+        base: u64,
+        slots: Box<[Option<CEntries>]>,
+    },
 }
 
 /// One hash-table way of a [`CompiledEngine`]: FxHash-keyed copy of the
 /// interpreter way.
 #[derive(Debug, Clone)]
-struct CWay {
-    masks: Box<[u64]>,
+pub(crate) struct CWay {
+    pub(crate) masks: Box<[u64]>,
     /// All-ones masks (exact ways): the composed key can be hashed
     /// directly, skipping the masked-copy step.
-    full_mask: bool,
-    map: CWayMap,
+    pub(crate) full_mask: bool,
+    pub(crate) map: CWayMap,
 }
 
 /// A range entry replicated out of the table for graph-free scanning.
@@ -89,13 +96,13 @@ struct CScanEntry {
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledEngine {
     key_fields: Box<[FieldRef]>,
-    ways: Vec<CWay>,
+    pub(crate) ways: Vec<CWay>,
     scan: Vec<CScanEntry>,
     resolve: Resolve,
     default_action: usize,
     /// Entry index → (action, priority).
     entry_meta: Box<[(usize, i32)]>,
-    has_keys: bool,
+    pub(crate) has_keys: bool,
 }
 
 impl CompiledEngine {
@@ -150,7 +157,28 @@ impl CompiledEngine {
     /// Allocation-free lookup; mirrors [`MatchEngine::lookup`] exactly.
     /// After the call `scratch.values()` holds the composed key values.
     pub(crate) fn lookup(&self, packet: &Packet, scratch: &mut KeyScratch) -> LookupOutcome {
+        self.compose_key(packet, scratch);
+        self.lookup_composed(scratch)
+    }
+
+    /// Composes the match key into `scratch.values` (empty for keyless
+    /// tables, mirroring the interpreter's early return).
+    #[inline]
+    pub(crate) fn compose_key(&self, packet: &Packet, scratch: &mut KeyScratch) {
         scratch.values.clear();
+        if self.has_keys {
+            scratch
+                .values
+                .extend(self.key_fields.iter().map(|&f| packet.get(f)));
+        }
+    }
+
+    /// Resolves an already-composed key (`scratch.values`). Split out of
+    /// [`Self::lookup`] so the specialization guard can compare the
+    /// composed key against the baked hot key first and fall through to
+    /// this exact general path on a miss — and so hot outcomes can be
+    /// baked from a raw key with no synthetic packet.
+    pub(crate) fn lookup_composed(&self, scratch: &mut KeyScratch) -> LookupOutcome {
         if !self.has_keys {
             return LookupOutcome {
                 entry: None,
@@ -158,9 +186,6 @@ impl CompiledEngine {
                 probes: 0,
             };
         }
-        scratch
-            .values
-            .extend(self.key_fields.iter().map(|&f| packet.get(f)));
         let mut probes = 0usize;
         let mut best: Option<(usize, i32)> = None; // (entry, priority)
         for way in &self.ways {
@@ -192,6 +217,16 @@ impl CompiledEngine {
                         scratch.masked.as_slice()
                     };
                     m.get(key)
+                }
+                CWayMap::Direct { base, slots } => {
+                    let k = if way.full_mask {
+                        scratch.values[0]
+                    } else {
+                        scratch.values[0] & way.masks[0]
+                    };
+                    k.checked_sub(*base)
+                        .and_then(|i| slots.get(i as usize))
+                        .and_then(|o| o.as_ref())
                 }
             };
             if let Some(entries) = found {
@@ -262,6 +297,20 @@ pub(crate) enum CNext {
     ByAction(Box<[u32]>),
 }
 
+/// The inline cache of one specialized table: the profile window's
+/// dominant composed key with its fully pre-resolved lookup outcome.
+/// The outcome is baked by running [`CompiledEngine::lookup_composed`]
+/// on the hot key at specialization time, so a guard hit returns — by
+/// construction — exactly what the general path would have returned
+/// (entry, action, *and* probe count, which feeds latency accounting).
+#[derive(Debug, Clone)]
+pub(crate) struct CTableSpec {
+    /// The composed key values the guard compares against.
+    pub(crate) hot_key: SmallKey,
+    /// The pre-resolved outcome for `hot_key`.
+    pub(crate) hot_outcome: LookupOutcome,
+}
+
 /// A compiled table node.
 #[derive(Debug, Clone)]
 pub(crate) struct CTable {
@@ -286,6 +335,10 @@ pub(crate) struct CTable {
     pub(crate) hit_slot: u32,
     /// Flow-cache miss successor slot.
     pub(crate) miss_slot: u32,
+    /// Hot-key inline cache installed by the specialization pass
+    /// (`None` in the verbatim lowering). Boxed: the common case pays
+    /// one `Option` discriminant, not 5 extra words per table.
+    pub(crate) spec: Option<Box<CTableSpec>>,
 }
 
 /// A compiled node's executable shape.
@@ -324,12 +377,19 @@ pub(crate) struct CNode {
 /// A flat, index-addressed lowering of one deployed program.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledPipeline {
-    /// Node arena in graph iteration order.
+    /// Node arena in graph iteration order (specialization may permute
+    /// slots so the hot chain is a contiguous prefix; `slot_of` and
+    /// every successor reference are remapped with it).
     pub(crate) nodes: Vec<CNode>,
     /// `NodeId` index → arena slot ([`NO_SLOT`] for tombstones).
     pub(crate) slot_of: Vec<u32>,
     /// Entry slot ([`NO_SLOT`] for an empty program).
     pub(crate) root: u32,
+    /// Fingerprint of the applied specialization plan (`0` = verbatim
+    /// lowering). An entry-op patch to a specialized table resets it to
+    /// `0`: the rebuilt engine drops that table's passes, and the stale
+    /// fingerprint tells the next specialize step to re-plan.
+    pub(crate) spec_fingerprint: u64,
 }
 
 impl CompiledPipeline {
@@ -356,6 +416,7 @@ impl CompiledPipeline {
             nodes,
             slot_of,
             root,
+            spec_fingerprint: 0,
         }
     }
 
@@ -383,6 +444,34 @@ impl CompiledPipeline {
     #[inline]
     pub(crate) fn slot(&self, id: NodeId) -> u32 {
         self.slot_of.get(id.index()).copied().unwrap_or(NO_SLOT)
+    }
+
+    /// Whether the table at `id` carries any per-table specialization
+    /// (hot-key guard or direct-index way).
+    pub(crate) fn node_is_specialized(&self, id: NodeId) -> bool {
+        let slot = self.slot(id);
+        if slot == NO_SLOT {
+            return false;
+        }
+        match &self.nodes[slot as usize].step {
+            CStep::Table(ct) => {
+                ct.spec.is_some()
+                    || ct
+                        .engine
+                        .ways
+                        .iter()
+                        .any(|w| matches!(w.map, CWayMap::Direct { .. }))
+            }
+            CStep::Branch { .. } => false,
+        }
+    }
+
+    /// Number of tables carrying per-table specialization.
+    pub(crate) fn specialized_tables(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| self.node_is_specialized(n.id))
+            .count() as u64
     }
 }
 
@@ -452,6 +541,7 @@ fn compile_node(
                 default_action: t.default_action,
                 hit_slot,
                 miss_slot,
+                spec: None,
             }))
         }
         _ => unreachable!("validated graph: branch node with non-branch hops"),

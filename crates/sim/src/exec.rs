@@ -21,6 +21,7 @@ use crate::engine::{KeyScratch, LookupOutcome, MatchEngine};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::smallkey::SmallKey;
+use crate::specialize::{self, HotKeySketch, SpecPlan, SpecStats};
 use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 use pipeleon_cost::{CostParams, MatchCostModel, MemoryTier, Placement, RuntimeProfile};
 use pipeleon_ir::{
@@ -234,6 +235,22 @@ pub struct Executor {
     full_compiles: u64,
     /// Single-node recompiles performed (telemetry for tests/benches).
     table_recompiles: u64,
+    /// Hot-key guard hits on specialized tables. Host telemetry: on a
+    /// sharded backend these depend on packet partitioning, so they are
+    /// not worker-count invariant (profiles and reports remain so).
+    spec_guard_hits: u64,
+    /// Hot-key guard misses (fell through to the general lookup).
+    spec_guard_misses: u64,
+    /// Specialization plans applied to this executor's pipeline.
+    specializations: u64,
+    /// Reverts to the verbatim lowering (explicit or entry-op strips).
+    despecializations: u64,
+    /// Monotonic (de)specialization epoch for event dedup.
+    spec_epoch: u64,
+    /// Per-table hot-key majority sketches, dense by node index; fed by
+    /// sampled lookups in both engine modes, taken at window boundaries
+    /// alongside the profile.
+    hot_sketch: Vec<Option<HotKeySketch>>,
     /// Simulation clock in seconds, advanced by the NIC harness.
     pub now_s: f64,
 }
@@ -270,6 +287,12 @@ impl Executor {
             compiled: None,
             full_compiles: 0,
             table_recompiles: 0,
+            spec_guard_hits: 0,
+            spec_guard_misses: 0,
+            specializations: 0,
+            despecializations: 0,
+            spec_epoch: 0,
+            hot_sketch: Vec::new(),
             now_s: 0.0,
             graph,
             params,
@@ -642,7 +665,27 @@ impl Executor {
 
     /// Patches one node of the compiled pipeline after an entry op,
     /// falling back to full invalidation only if the node has no slot.
+    ///
+    /// If the entry op touches a *specialized* table (hot-key guard or
+    /// direct-index way), the whole pipeline de-specializes to the
+    /// verbatim lowering instead: the baked outcome and dense key range
+    /// may no longer describe the table, and a stale guard is exactly
+    /// the divergence specialization promises never to introduce. The
+    /// next specialize step re-plans from fresh profile state.
     fn recompile_table(&mut self, id: NodeId) {
+        let strip = self
+            .compiled
+            .as_ref()
+            .is_some_and(|cp| cp.spec_fingerprint != 0 && cp.node_is_specialized(id));
+        if strip {
+            self.compiled = None;
+            if self.mode == EngineMode::Compiled {
+                self.ensure_compiled();
+            }
+            self.despecializations += 1;
+            self.spec_epoch += 1;
+            return;
+        }
         if let Some(cp) = self.compiled.as_mut() {
             if cp.recompile_node(
                 &self.graph,
@@ -656,6 +699,113 @@ impl Executor {
                 self.compiled = None;
             }
         }
+    }
+
+    /// Applies a specialization plan over the verbatim lowering. Returns
+    /// the new spec epoch if the pipeline changed; `None` under the
+    /// interpreter (which needs no specializing — it *is* the oracle),
+    /// for an empty plan, or when the identical plan is already applied.
+    pub(crate) fn specialize_with(&mut self, plan: &SpecPlan) -> Option<u64> {
+        if self.mode != EngineMode::Compiled || plan.is_empty() {
+            return None;
+        }
+        self.ensure_compiled();
+        let current = self.spec_fingerprint();
+        if current == plan.fingerprint {
+            return None;
+        }
+        if current != 0 {
+            // Plans always apply over the verbatim lowering, never over
+            // a previous plan's arena.
+            self.compiled = None;
+            self.ensure_compiled();
+        }
+        let cp = self.compiled.as_mut().expect("just compiled");
+        specialize::apply_plan(cp, plan);
+        cp.spec_fingerprint = plan.fingerprint;
+        self.specializations += 1;
+        self.spec_epoch += 1;
+        Some(self.spec_epoch)
+    }
+
+    /// Reverts to the verbatim lowering. Returns the new spec epoch if
+    /// the pipeline was specialized, `None` if it already was verbatim.
+    pub(crate) fn despecialize(&mut self) -> Option<u64> {
+        if self.spec_fingerprint() == 0 {
+            return None;
+        }
+        self.compiled = None;
+        if self.mode == EngineMode::Compiled {
+            self.ensure_compiled();
+        }
+        self.despecializations += 1;
+        self.spec_epoch += 1;
+        Some(self.spec_epoch)
+    }
+
+    /// Current specialization counters and state.
+    pub fn spec_stats(&self) -> SpecStats {
+        SpecStats {
+            guard_hits: self.spec_guard_hits,
+            guard_misses: self.spec_guard_misses,
+            specializations: self.specializations,
+            despecializations: self.despecializations,
+            specialized_tables: self
+                .compiled
+                .as_ref()
+                .map_or(0, |cp| cp.specialized_tables()),
+            generation: self.spec_epoch,
+        }
+    }
+
+    /// The applied plan fingerprint (`0` = verbatim lowering).
+    pub(crate) fn spec_fingerprint(&self) -> u64 {
+        self.compiled.as_ref().map_or(0, |cp| cp.spec_fingerprint)
+    }
+
+    /// Takes the per-table hot-key sketches collected since the last
+    /// call, resetting them — the sketch window rides the profile window.
+    pub(crate) fn take_hot_sketches(&mut self) -> HashMap<NodeId, HotKeySketch> {
+        let mut out = HashMap::new();
+        for (idx, sk) in std::mem::take(&mut self.hot_sketch).into_iter().enumerate() {
+            if let Some(sk) = sk {
+                if sk.samples > 0 {
+                    out.insert(NodeId(idx as u32), sk);
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds the live (not-yet-taken) sketches into `out` without
+    /// resetting them — lets a specialize step planned mid-window see
+    /// the traffic since the last boundary.
+    pub(crate) fn peek_hot_sketches_into(&self, out: &mut HashMap<NodeId, HotKeySketch>) {
+        for (idx, sk) in self.hot_sketch.iter().enumerate() {
+            if let Some(sk) = sk {
+                if sk.samples > 0 {
+                    out.entry(NodeId(idx as u32))
+                        .and_modify(|e| e.merge(sk))
+                        .or_insert_with(|| sk.clone());
+                }
+            }
+        }
+    }
+
+    /// Feeds the composed key in scratch into the table's hot-key
+    /// sketch. Called only for sampled packets, so the sketch cost rides
+    /// the same budget as counter updates; no modeled latency attaches
+    /// (like distinct-key tracking, it is control-plane analytics).
+    #[inline]
+    fn note_hot_key(&mut self, id: NodeId) {
+        if self.scratch.values.is_empty() {
+            return;
+        }
+        if self.hot_sketch.len() <= id.index() {
+            self.hot_sketch.resize_with(id.index() + 1, || None);
+        }
+        let sk = self.hot_sketch[id.index()].get_or_insert_with(HotKeySketch::default);
+        sk.observe(&self.scratch.values);
     }
 
     /// Processes one packet; see [`Executor::process_traced`] for traces.
@@ -924,6 +1074,7 @@ impl Executor {
             );
         }
         if sampled {
+            self.note_hot_key(id);
             self.profile.record_action(id, outcome.action, 1);
             report.counter_updates += 1;
             report.latency_ns += self.params.l_counter * scale;
@@ -1214,7 +1365,22 @@ impl Executor {
         report: &mut ExecReport,
         trace: &mut Option<&mut PacketTrace>,
     ) -> u32 {
-        let outcome = ct.engine.lookup(packet, &mut self.scratch);
+        // Hot-key guard: compare the composed key against the baked hot
+        // key; a hit returns the pre-resolved outcome (identical — entry,
+        // action, probes — to what the general path computes for that
+        // key), a miss falls through to the unmodified general lookup.
+        let outcome = if let Some(sp) = &ct.spec {
+            ct.engine.compose_key(packet, &mut self.scratch);
+            if self.scratch.values.as_slice() == sp.hot_key.as_slice() {
+                self.spec_guard_hits += 1;
+                sp.hot_outcome
+            } else {
+                self.spec_guard_misses += 1;
+                ct.engine.lookup_composed(&mut self.scratch)
+            }
+        } else {
+            ct.engine.lookup(packet, &mut self.scratch)
+        };
         // Under a Fixed match model the charged probes follow the
         // model's multiplier (pre-resolved), not the realized way count.
         let charged = match ct.charged_fixed {
@@ -1255,6 +1421,7 @@ impl Executor {
             );
         }
         if sampled {
+            self.note_hot_key(id);
             self.profile.record_action(id, outcome.action, 1);
             report.counter_updates += 1;
             report.latency_ns += self.params.l_counter * scale;
@@ -1434,6 +1601,34 @@ mod tests {
             .finish();
         let _ = rw;
         (b.seal(acl).unwrap(), acl, rw)
+    }
+
+    #[test]
+    fn specialize_stamps_and_clears_the_plan_fingerprint() {
+        use crate::smallkey::SmallKey;
+        use crate::specialize::SpecPlan;
+        let (g, acl, _) = simple_program();
+        let mut ex = Executor::new(g, params()).unwrap();
+        ex.set_engine_mode(EngineMode::Compiled);
+        assert_eq!(ex.spec_fingerprint(), 0, "verbatim lowering sentinel");
+        let plan = SpecPlan {
+            hot_keys: vec![(acl, SmallKey::from_slice(&[1]))],
+            direct: vec![],
+            chain: vec![],
+            fingerprint: 0xABCD,
+        };
+        assert_eq!(ex.specialize_with(&plan), Some(1), "first spec epoch");
+        assert_eq!(ex.spec_fingerprint(), 0xABCD);
+        // Re-applying the same plan is a no-op (dedup by fingerprint).
+        assert_eq!(ex.specialize_with(&plan), None);
+        // Guard hit on the baked key stays bit-exact with the oracle.
+        let mut p = Packet::with_slots(vec![1, 0]);
+        let r = ex.process(&mut p);
+        assert!(!r.dropped);
+        assert!((r.latency_ns - 22.0).abs() < 1e-9, "got {}", r.latency_ns);
+        assert!(ex.spec_stats().guard_hits > 0);
+        assert_eq!(ex.despecialize(), Some(2), "second spec epoch");
+        assert_eq!(ex.spec_fingerprint(), 0, "despecialize restores verbatim");
     }
 
     #[test]

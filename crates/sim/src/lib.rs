@@ -39,6 +39,11 @@
 //!   parallel worker threads by flow hash, with deterministic merging of
 //!   per-shard profiles and batch statistics deferred to profile-window
 //!   boundaries.
+//! * [`specialize`] — profile-guided specialization of the compiled
+//!   datapath: hot-key inline caches behind guards, direct-index ways
+//!   for small stable exact tables, and hot-chain slot layout — all
+//!   bit-exact against the interpreter oracle, applied and reverted
+//!   live through the generation chain.
 //! * [`backend`] — [`NicBackend`], the datapath trait both NICs
 //!   implement, so runtime targets can be backed by either.
 //!
@@ -80,6 +85,7 @@ pub mod packet;
 pub mod ring;
 pub mod sharded;
 pub mod smallkey;
+pub mod specialize;
 pub(crate) mod sync;
 
 pub use backend::{LiveSwap, NicBackend};
@@ -91,3 +97,4 @@ pub use observe::ExecObservations;
 pub use packet::Packet;
 pub use sharded::ShardedNic;
 pub use smallkey::SmallKey;
+pub use specialize::{HotKeySketch, SpecConfig, SpecStats};

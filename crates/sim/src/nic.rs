@@ -10,8 +10,10 @@
 use crate::backend::LiveSwap;
 use crate::exec::{EngineMode, ExecReport, Executor, PacketTrace, SampleKeying};
 use crate::packet::Packet;
+use crate::specialize::{self, HotKeySketch, SpecConfig, SpecStats};
 use pipeleon_cost::{CostParams, Placement, RuntimeProfile};
 use pipeleon_ir::{IrError, NodeId, ProgramGraph, TableEntry};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// How the sharded datapath ([`ShardedNic`](crate::ShardedNic))
@@ -239,6 +241,14 @@ pub struct SmartNic {
     last_swap: Option<LiveSwap>,
     /// Open streaming measurement window, if any.
     measuring: Option<SmartMeasure>,
+    /// Specialization planning thresholds.
+    spec_cfg: SpecConfig,
+    /// The last taken profile window, retained for specialize steps that
+    /// run right after a window boundary (the controller's tick has
+    /// already consumed the live counters by then).
+    last_profile: RuntimeProfile,
+    /// Hot-key sketches taken with the last profile window.
+    last_sketches: HashMap<NodeId, HotKeySketch>,
 }
 
 /// An open streaming measurement window on a [`SmartNic`] (between
@@ -265,6 +275,9 @@ impl SmartNic {
             generation: 0,
             last_swap: None,
             measuring: None,
+            spec_cfg: SpecConfig::default(),
+            last_profile: RuntimeProfile::empty(),
+            last_sketches: HashMap::new(),
         })
     }
 
@@ -384,9 +397,45 @@ impl SmartNic {
         self.exec.set_memory_tiers(tiers)
     }
 
-    /// Takes the profile collected since the last call.
+    /// Takes the profile collected since the last call. The window (and
+    /// its hot-key sketches) is retained for the next specialize step.
     pub fn take_profile(&mut self) -> RuntimeProfile {
-        self.exec.take_profile()
+        let p = self.exec.take_profile();
+        self.last_profile = p.clone();
+        self.last_sketches = self.exec.take_hot_sketches();
+        p
+    }
+
+    /// Sets the specialization planning thresholds.
+    pub fn set_spec_config(&mut self, cfg: SpecConfig) {
+        self.spec_cfg = cfg;
+    }
+
+    /// Builds a specialization plan from the last profile window (merged
+    /// with whatever has accumulated since) and applies it to the
+    /// compiled pipeline. Returns `true` if the pipeline changed.
+    ///
+    /// Deliberately *generation-silent*: the specialized pipeline is the
+    /// same program, bit-exactly — it is not a reconfiguration, and it
+    /// neither bumps the deploy generation nor reports a live swap.
+    pub fn specialize(&mut self) -> bool {
+        let mut profile = self.last_profile.clone();
+        profile.merge(self.exec.sampled_profile());
+        let mut sketches = self.last_sketches.clone();
+        self.exec.peek_hot_sketches_into(&mut sketches);
+        let plan = specialize::build_plan(self.exec.graph(), &profile, &sketches, &self.spec_cfg);
+        self.exec.specialize_with(&plan).is_some()
+    }
+
+    /// Reverts the compiled pipeline to the verbatim lowering. Returns
+    /// `true` if it was specialized.
+    pub fn despecialize(&mut self) -> bool {
+        self.exec.despecialize().is_some()
+    }
+
+    /// Current specialization counters and state.
+    pub fn spec_stats(&self) -> SpecStats {
+        self.exec.spec_stats()
     }
 
     /// Takes the latency histograms recorded for sampled packets since

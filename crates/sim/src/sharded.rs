@@ -119,6 +119,7 @@ use crate::nic::{BatchStats, NicConfig, PacketRecord, ShardMode};
 use crate::observe::ExecObservations;
 use crate::packet::Packet;
 use crate::ring;
+use crate::specialize::{self, HotKeySketch, SpecConfig, SpecStats};
 use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use fxhash::FxHashMap;
 use pipeleon_cost::{CostParams, MemoryTier, Placement, RuntimeProfile};
@@ -539,6 +540,14 @@ pub struct ShardedNic {
     last_swap: Option<LiveSwap>,
     /// Open streaming measurement window, if any.
     measuring: Option<MeasureStream>,
+    /// Specialization planning thresholds (plans are built centrally on
+    /// the dispatcher from merged cross-shard profile state).
+    spec_cfg: SpecConfig,
+    /// The last taken (merged) profile window, retained so a specialize
+    /// step right after a window boundary still sees a full window.
+    last_profile: RuntimeProfile,
+    /// The last taken window's merged hot-key sketches (same retention).
+    last_sketches: HashMap<NodeId, HotKeySketch>,
 }
 
 impl ShardedNic {
@@ -604,6 +613,9 @@ impl ShardedNic {
             latest_gen: 0,
             last_swap: None,
             measuring: None,
+            spec_cfg: SpecConfig::default(),
+            last_profile: RuntimeProfile::empty(),
+            last_sketches: HashMap::new(),
         };
         if mode == ShardMode::RunLoop {
             nic.spawn_workers();
@@ -1197,6 +1209,7 @@ impl ShardedNic {
     pub fn take_profile(&mut self) -> RuntimeProfile {
         let mut merged = RuntimeProfile::empty();
         let mut union: HashMap<NodeId, fxhash::FxHashSet<crate::SmallKey>> = HashMap::new();
+        let mut sketches: HashMap<NodeId, HotKeySketch> = HashMap::new();
         for cell in &self.shards {
             let mut st = cell.state.lock().expect("shard state poisoned");
             let (p, distinct) = st.exec.take_profile_split();
@@ -1204,12 +1217,20 @@ impl ShardedNic {
             for (node, set) in distinct {
                 union.entry(node).or_default().extend(set);
             }
+            for (node, sk) in st.exec.take_hot_sketches() {
+                sketches
+                    .entry(node)
+                    .and_modify(|e| e.merge(&sk))
+                    .or_insert(sk);
+            }
         }
         for (node, set) in union {
             merged.set_distinct_keys(node, set.len() as u64);
         }
         merged.window_s = (self.now_s - self.last_take_s).max(1e-9);
         self.last_take_s = self.now_s;
+        self.last_profile = merged.clone();
+        self.last_sketches = sketches;
         merged
     }
 
@@ -1226,6 +1247,117 @@ impl ShardedNic {
             merged.merge(&st.exec.take_observations());
         }
         merged
+    }
+
+    /// Sets the specialization planning thresholds.
+    pub fn set_spec_config(&mut self, cfg: SpecConfig) {
+        self.spec_cfg = cfg;
+    }
+
+    /// The merged cross-shard specialization planning inputs: the
+    /// retained last profile window folded with whatever every shard has
+    /// accumulated since, and the hot-key sketches likewise.
+    fn spec_inputs(&self) -> (RuntimeProfile, HashMap<NodeId, HotKeySketch>) {
+        let mut profile = self.last_profile.clone();
+        let mut sketches = self.last_sketches.clone();
+        for cell in &self.shards {
+            let st = cell.state.lock().expect("shard state poisoned");
+            profile.merge(st.exec.sampled_profile());
+            st.exec.peek_hot_sketches_into(&mut sketches);
+        }
+        (profile, sketches)
+    }
+
+    /// Builds one specialization plan from the merged cross-shard
+    /// profile state and applies it to the compiled datapath everywhere.
+    /// Returns `true` if the pipeline changed.
+    ///
+    /// With live reconfiguration on (`RunLoop` mode) the specialized
+    /// pipeline is compiled once on the control replica and *published*
+    /// as a deploy generation on the epoch/RCU chain — shards adopt it
+    /// concurrent with packet flow, in-flight packets complete under the
+    /// verbatim lowering, and the swap is reported via
+    /// [`ShardedNic::last_swap`] exactly like a live program deploy
+    /// (including deploy semantics for shard-local cache runtime state).
+    /// Otherwise the plan fans out to every shard under its lock, which
+    /// swaps only the compiled pipeline (burst-granularity, bit-exact,
+    /// cache state untouched) — the same effect as
+    /// [`SmartNic::specialize`](crate::SmartNic::specialize) per shard.
+    pub fn specialize(&mut self) -> bool {
+        let (profile, sketches) = self.spec_inputs();
+        let plan =
+            specialize::build_plan(self.control.graph(), &profile, &sketches, &self.spec_cfg);
+        if self.publishes_live() {
+            let t0 = Instant::now();
+            if self.control.specialize_with(&plan).is_none() {
+                return false;
+            }
+            let graph = self.control.graph().clone();
+            let compiled = self.control.compiled_clone();
+            let id = self.chain.publish(GenKind::Deploy { graph, compiled });
+            self.latest_gen = id;
+            self.last_swap = Some(LiveSwap {
+                generation: id,
+                in_flight: self.in_flight(),
+                latency_ns: t0.elapsed().as_nanos() as f64,
+            });
+            self.reclaim_adopted();
+            return true;
+        }
+        let applied = self.control.specialize_with(&plan).is_some();
+        if applied {
+            for cell in &self.shards {
+                let mut st = cell.state.lock().expect("shard state poisoned");
+                st.exec.specialize_with(&plan);
+            }
+        }
+        applied
+    }
+
+    /// Reverts the compiled datapath to the verbatim lowering on every
+    /// shard. Returns `true` if it was specialized. Under live
+    /// reconfiguration this too publishes as a deploy generation.
+    pub fn despecialize(&mut self) -> bool {
+        if self.publishes_live() {
+            let t0 = Instant::now();
+            if self.control.despecialize().is_none() {
+                return false;
+            }
+            let graph = self.control.graph().clone();
+            let compiled = self.control.compiled_clone();
+            let id = self.chain.publish(GenKind::Deploy { graph, compiled });
+            self.latest_gen = id;
+            self.last_swap = Some(LiveSwap {
+                generation: id,
+                in_flight: self.in_flight(),
+                latency_ns: t0.elapsed().as_nanos() as f64,
+            });
+            self.reclaim_adopted();
+            return true;
+        }
+        let reverted = self.control.despecialize().is_some();
+        if reverted {
+            for cell in &self.shards {
+                let mut st = cell.state.lock().expect("shard state poisoned");
+                st.exec.despecialize();
+            }
+        }
+        reverted
+    }
+
+    /// Current specialization counters: plan/epoch state from the
+    /// control replica (shards apply the same plans, or adopt them
+    /// silently through the generation chain), guard hit/miss telemetry
+    /// summed across the shards that actually execute packets.
+    pub fn spec_stats(&self) -> SpecStats {
+        let mut stats = self.control.spec_stats();
+        for cell in &self.shards {
+            let st = cell.state.lock().expect("shard state poisoned");
+            let s = st.exec.spec_stats();
+            stats.guard_hits += s.guard_hits;
+            stats.guard_misses += s.guard_misses;
+        }
+        stats
     }
 
     /// Runs a batch offered at line rate through the sharded datapath
@@ -1605,6 +1737,22 @@ impl NicBackend for ShardedNic {
 
     fn measure_end(&mut self) -> BatchStats {
         ShardedNic::measure_end(self)
+    }
+
+    fn set_spec_config(&mut self, cfg: SpecConfig) {
+        ShardedNic::set_spec_config(self, cfg)
+    }
+
+    fn specialize(&mut self) -> bool {
+        ShardedNic::specialize(self)
+    }
+
+    fn despecialize(&mut self) -> bool {
+        ShardedNic::despecialize(self)
+    }
+
+    fn spec_stats(&self) -> SpecStats {
+        ShardedNic::spec_stats(self)
     }
 }
 

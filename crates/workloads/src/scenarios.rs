@@ -632,6 +632,158 @@ impl NfComposition {
     }
 }
 
+/// Specialization benchmark pipeline: tables chosen so each specializing
+/// pass has something to bite on. Ternary classifiers (multi-mask linear
+/// scans — the expensive general path a hot-key guard short-circuits),
+/// exact flow tables (inline-cache targets), one small dense exact table
+/// whose keys span `0..CLASS_ENTRIES` (the direct-index candidate), and an
+/// LPM route. Traffic is Zipf-skewed with configurable exponent, and
+/// [`SkewedPipeline::traffic_flipped`] remaps the popular flows onto
+/// disjoint key values mid-experiment (drift that must de-specialize).
+#[derive(Debug, Clone)]
+pub struct SkewedPipeline {
+    /// The program.
+    pub graph: ProgramGraph,
+    /// Ternary classifier tables, in order.
+    pub ternary: Vec<NodeId>,
+    /// Exact-match flow tables, in order.
+    pub exact: Vec<NodeId>,
+    /// The small dense exact table (keys `0..CLASS_ENTRIES`).
+    pub class_table: NodeId,
+    /// The final LPM routing table.
+    pub routing: NodeId,
+    /// Flow fields (keys of the classifier and flow tables).
+    pub flow_fields: Vec<FieldRef>,
+    /// Key field of the dense class table.
+    pub class_field: FieldRef,
+}
+
+/// Entry count of [`SkewedPipeline`]'s dense class table.
+pub const CLASS_ENTRIES: u64 = 8;
+
+impl SkewedPipeline {
+    /// Builds the pipeline with `num_ternary` classifiers and `num_exact`
+    /// flow tables, five masked entries per classifier.
+    pub fn build(num_ternary: usize, num_exact: usize) -> Self {
+        Self::build_with_entries(num_ternary, num_exact, 5)
+    }
+
+    /// [`SkewedPipeline::build`] with a configurable classifier ruleset
+    /// size. Every ternary lookup is a priority scan over
+    /// `ternary_entries` masked rules, so this dial sets how much work a
+    /// hot-key guard hit gets to skip — realistic ACLs run hundreds of
+    /// rules, which is where Morpheus-style specialization earns its
+    /// keep.
+    pub fn build_with_entries(num_ternary: usize, num_exact: usize, ternary_entries: u64) -> Self {
+        let mut b = ProgramBuilder::named("skewed_pipeline");
+        let flow_fields: Vec<FieldRef> = ["ipv4.src", "ipv4.dst", "l4.sport", "l4.dport"]
+            .iter()
+            .map(|n| b.field(n))
+            .collect();
+        let class_field = b.field("meta.class");
+        let qos = b.field("meta.qos");
+        let mut ternary = Vec::new();
+        for i in 0..num_ternary {
+            let mut tb = b
+                .table(format!("classify{i}"))
+                .key(flow_fields[i % flow_fields.len()], MatchKind::Ternary)
+                .action("mark", vec![Primitive::Nop])
+                .action_nop("miss");
+            // Masked entries spread over distinct mask patterns, so the
+            // general path probes one way per pattern (up to 32) like a
+            // real multi-pattern ACL. Values sit above bit 20 while
+            // generated flow values stay below it, so no rule ever
+            // matches — the default-action outcome is the bakeable hot
+            // verdict.
+            for m in 0..ternary_entries {
+                let shift = 20 + (m % 32);
+                tb = tb.entry(TableEntry::with_priority(
+                    vec![MatchValue::Ternary {
+                        value: ((m % 255) + 1) << shift,
+                        mask: 0xFF << shift,
+                    }],
+                    0,
+                    m as i32,
+                ));
+            }
+            ternary.push(tb.finish());
+        }
+        let mut exact = Vec::new();
+        for i in 0..num_exact {
+            let mut tb = b
+                .table(format!("flow{i}"))
+                .key(flow_fields[i % flow_fields.len()], MatchKind::Exact)
+                .action("proc", vec![Primitive::Nop])
+                .action_nop("nop");
+            for e in 0..4u64 {
+                tb = tb.entry(TableEntry::new(vec![MatchValue::Exact(e)], 0));
+            }
+            exact.push(tb.finish());
+        }
+        let mut ct = b
+            .table("class_map")
+            .key(class_field, MatchKind::Exact)
+            .action("set_qos", vec![Primitive::set(qos, 1)])
+            .action_nop("best_effort");
+        for e in 0..CLASS_ENTRIES {
+            ct = ct.entry(TableEntry::new(vec![MatchValue::Exact(e)], 0));
+        }
+        let class_table = ct.finish();
+        let routing = b
+            .table("routing")
+            .key(flow_fields[1], MatchKind::Lpm)
+            .action("fwd", vec![Primitive::Forward { port: 1 }])
+            .entry(TableEntry::new(
+                vec![MatchValue::Lpm {
+                    value: 0,
+                    prefix_len: 0,
+                }],
+                0,
+            ))
+            .finish();
+        let _ = routing;
+        let root = *ternary.first().or(exact.first()).unwrap_or(&class_table);
+        Self {
+            graph: b.seal(root).expect("valid program"),
+            ternary,
+            exact,
+            class_table,
+            routing,
+            flow_fields,
+            class_field,
+        }
+    }
+
+    /// Zipf-skewed traffic (`skew` = 0 is uniform). Class values spread
+    /// over a few dense-table entries via biases; unbiased packets hit
+    /// entry 0 (the field defaults to 0).
+    pub fn traffic(&self, skew: f64, num_flows: usize, seed: u64) -> FlowGen {
+        let mut gen = FlowGen::new(
+            self.graph.fields.len(),
+            self.flow_fields.clone(),
+            num_flows,
+            seed,
+        )
+        .with_zipf(skew);
+        for (v, p) in [(1u64, 0.25), (2, 0.2), (3, 0.15)] {
+            gen = gen.with_bias(FieldBias {
+                field: self.class_field,
+                value: v,
+                probability: p,
+            });
+        }
+        gen
+    }
+
+    /// The same distribution shifted onto a disjoint flow universe: the
+    /// popular ranks map to entirely different field values, so every
+    /// baked hot key goes stale at once (the de-specialization stimulus).
+    pub fn traffic_flipped(&self, skew: f64, num_flows: usize, seed: u64) -> FlowGen {
+        self.traffic(skew, num_flows, seed)
+            .with_flow_base(num_flows as u64)
+    }
+}
+
 /// Traffic generator splitting packets across NFs by the selector field.
 #[derive(Debug, Clone)]
 pub struct NfTrafficGen {
@@ -745,6 +897,46 @@ mod tests {
         assert!((share(0) - 0.6).abs() < 0.05, "nf1 share = {}", share(0));
         assert!((share(1) - 0.3).abs() < 0.05, "nf2 share = {}", share(1));
         assert!((share(2) - 0.1).abs() < 0.05, "nf3 share = {}", share(2));
+    }
+
+    #[test]
+    fn skewed_pipeline_builds_and_runs() {
+        let s = SkewedPipeline::build(3, 2);
+        s.graph.validate().unwrap();
+        // 3 ternary + 2 exact + class_map + routing.
+        assert_eq!(s.graph.tables().count(), 7);
+        let mut nic = SmartNic::new(s.graph.clone(), CostParams::bluefield2()).unwrap();
+        let stats = nic.measure(s.traffic(1.2, 1000, 3).batch(4000));
+        assert_eq!(stats.packets, 4000);
+        assert_eq!(stats.dropped, 0, "nothing in this pipeline drops");
+    }
+
+    #[test]
+    fn skewed_traffic_concentrates_and_flip_is_disjoint() {
+        let s = SkewedPipeline::build(2, 1);
+        let top_share = |mut g: FlowGen| {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..4000 {
+                *counts
+                    .entry(g.next_packet().get(s.flow_fields[0]))
+                    .or_insert(0u32) += 1;
+            }
+            *counts.values().max().unwrap() as f64 / 4000.0
+        };
+        assert!(top_share(s.traffic(1.3, 500, 7)) > 0.25, "skew too weak");
+        assert!(
+            top_share(s.traffic(0.0, 500, 7)) < 0.05,
+            "uniform too peaky"
+        );
+        // The flipped generator shares no flow values with the original.
+        let values = |mut g: FlowGen| {
+            (0..2000)
+                .map(|_| g.next_packet().get(s.flow_fields[0]))
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let a = values(s.traffic(1.3, 500, 7));
+        let b = values(s.traffic_flipped(1.3, 500, 7));
+        assert!(a.is_disjoint(&b), "flip did not move the flow universe");
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub struct FlowGen {
     pub zipf_s: f64,
     /// Per-field biased overrides (applied after flow fields).
     pub biases: Vec<FieldBias>,
+    /// Offset added to flow ranks before field derivation. The rank→value
+    /// map is otherwise seed-independent, so shifting the base remaps the
+    /// popular ranks onto entirely different field values — the
+    /// "distribution flip" lever for drift experiments.
+    pub flow_base: u64,
     /// Packet wire size in bytes.
     pub packet_bytes: usize,
     /// Number of slots packets carry (the program's field-space size).
@@ -98,6 +103,7 @@ impl FlowGen {
             num_flows: num_flows.max(1),
             zipf_s: 0.0,
             biases: Vec::new(),
+            flow_base: 0,
             packet_bytes: Packet::DEFAULT_BYTES,
             slot_count,
             rng: ChaCha8Rng::seed_from_u64(seed),
@@ -118,9 +124,17 @@ impl FlowGen {
         self
     }
 
+    /// Offsets flow ranks by `base` before deriving field values. Two
+    /// generators with different bases share no flow values, so flipping
+    /// the base mid-run moves the entire popularity mass to fresh keys.
+    pub fn with_flow_base(mut self, base: u64) -> Self {
+        self.flow_base = base;
+        self
+    }
+
     /// Generates the next packet.
     pub fn next_packet(&mut self) -> Packet {
-        let flow = self.zipf.sample(&mut self.rng) as u64;
+        let flow = self.zipf.sample(&mut self.rng) as u64 + self.flow_base;
         let mut p = Packet::with_slots(vec![0; self.slot_count]);
         p.bytes = self.packet_bytes;
         // Distinct per-field values derived from the flow id so multi-field
@@ -218,6 +232,21 @@ mod tests {
             .count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn flow_base_disjoint_flow_values() {
+        // Shifting the base by ≥ num_flows gives a disjoint value set:
+        // the mid-run distribution-flip lever for drift experiments.
+        let values = |base: u64| {
+            let mut g = FlowGen::new(4, vec![FieldRef(0)], 20, 9).with_flow_base(base);
+            (0..500)
+                .map(|_| g.next_packet().get(FieldRef(0)))
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let a = values(0);
+        let b = values(1_000);
+        assert!(a.is_disjoint(&b), "flow values overlap across bases");
     }
 
     #[test]
